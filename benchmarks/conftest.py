@@ -1,0 +1,49 @@
+"""Shared configuration for the per-table/figure benchmark harness.
+
+Each ``test_bench_*`` module regenerates one table or figure of the
+paper.  By default a *quick* configuration runs: representative
+benchmark subsets, few forks — enough to check the reported shapes in
+minutes.  Set ``REPRO_FULL=1`` to run every workload with more forks
+(slow: tens of minutes).
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.suites.registry import all_benchmarks, benchmarks_of, get_benchmark
+
+FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+#: Quick-mode representative subset, a few per suite.
+QUICK_SUBSET = (
+    # renaissance
+    "scrabble", "streams-mnemonics", "future-genetic", "fj-kmeans",
+    "log-regression", "als", "finagle-chirper", "philosophers", "reactors",
+    # dacapo
+    "avrora", "jython", "h2", "batik",
+    # scalabench
+    "factorie", "scalac", "scalatest",
+    # specjvm
+    "scimark.lu.small", "scimark.sor.small", "compress", "crypto.rsa",
+)
+
+
+def shrink(bench, warmup=4, measure=2):
+    return dataclasses.replace(bench, warmup=warmup, measure=measure)
+
+
+def selected_benchmarks():
+    if FULL:
+        return [shrink(b, warmup=5, measure=3) for b in all_benchmarks()]
+    return [shrink(get_benchmark(name)) for name in QUICK_SUBSET]
+
+
+def selected_of(suite):
+    return [b for b in selected_benchmarks() if b.suite == suite]
+
+
+@pytest.fixture(scope="session")
+def forks():
+    return 4 if FULL else 3

@@ -1,0 +1,77 @@
+"""Ablations for the design decisions DESIGN.md calls out.
+
+Not a paper table, but the paper motivates two of these directly:
+Section 5.2 states "a chunk size of C = 32 works well" for loop-wide
+lock coarsening, and Section 5 credits inlining with exposing most of
+the optimization patterns in the first place.
+"""
+
+import dataclasses
+
+from benchmarks.conftest import shrink
+from repro.harness.core import Runner
+from repro.jit.pipeline import graal_config
+from repro.suites.registry import get_benchmark
+
+
+def _wall(bench, config):
+    return Runner(bench, jit=config).run(warmup=5, measure=2).mean_wall
+
+
+def test_bench_ablation_lock_coarsen_chunk(benchmark):
+    """fj-kmeans wall time across C: locking overhead amortizes with C;
+    C = 32 (the paper's choice) captures almost all of the benefit."""
+    bench = shrink(get_benchmark("fj-kmeans"), warmup=5, measure=2)
+
+    def sweep():
+        return {chunk: _wall(bench, graal_config(lock_coarsen_chunk=chunk))
+                for chunk in (1, 4, 32, 128)}
+
+    walls = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nchunk -> wall:", walls)
+    # Coarsening must help: C=32 clearly beats C=1 (no amortization)...
+    assert walls[32] < walls[1]
+    # ... and C=128 adds little over C=32 (diminishing returns).
+    gain_32 = walls[1] - walls[32]
+    gain_128 = walls[1] - walls[128]
+    assert gain_128 < gain_32 * 1.35
+
+
+def test_bench_ablation_inline_budget(benchmark):
+    """scrabble wall time across inlining budgets: the stream pipeline
+    only optimizes once callees (and lambdas) inline."""
+    bench = shrink(get_benchmark("scrabble"), warmup=5, measure=2)
+
+    def sweep():
+        out = {}
+        for budget in (0, 30, 90):
+            config = graal_config(inline_callee_budget=budget,
+                                  inline_graph_budget=1600 if budget
+                                  else 0)
+            out[budget] = _wall(bench, config)
+        return out
+
+    walls = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nbudget -> wall:", walls)
+    assert walls[90] < walls[0]           # inlining pays overall
+    assert walls[90] <= walls[30]         # bigger budget >= smaller
+
+
+def test_bench_ablation_compile_threshold(benchmark):
+    """Lower tier-up thresholds reach steady state sooner: total cycles
+    over a fixed run shrink as the threshold drops."""
+    bench = dataclasses.replace(get_benchmark("dotty"), warmup=0,
+                                measure=6)
+
+    def sweep():
+        out = {}
+        for threshold in (8, 64, 100000):
+            result = Runner(bench,
+                            jit=graal_config(compile_threshold=threshold)
+                            ).run()
+            out[threshold] = sum(result.walls)
+        return out
+
+    walls = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nthreshold -> total wall:", walls)
+    assert walls[8] < walls[100000]       # never compiling is slowest

@@ -1,0 +1,43 @@
+"""Regenerates Figure 1 / Figure 8 (PCA scatter scores) and Table 3
+(metric loadings on the principal components)."""
+
+from benchmarks.conftest import selected_benchmarks
+from repro.analysis.metrics_experiment import (
+    format_loadings,
+    pca_experiment,
+    profile_benchmarks,
+    suite_spread,
+)
+
+
+def _run_pca():
+    rows = profile_benchmarks(selected_benchmarks(), measure=1)
+    return pca_experiment(rows)
+
+
+def test_bench_fig1_pca(benchmark):
+    result = benchmark.pedantic(_run_pca, rounds=1, iterations=1)
+    print("\n" + format_loadings(result))
+
+    # Table 3 shape: some early PC is dominated by concurrency
+    # primitives (atomic/park/synch/wait/notify in the paper's PC2/PC3).
+    concurrency = {"atomic", "park", "synch", "wait", "notify"}
+    table = result.loading_table(4)
+    pc_with_concurrency = None
+    for pc_index, column in enumerate(table):
+        top3 = {name for name, _ in column[:3]}
+        if top3 & concurrency:
+            pc_with_concurrency = pc_index
+            break
+    assert pc_with_concurrency is not None, table
+
+    # Figure 1 shape: Renaissance spreads wider than every other suite
+    # along that concurrency component.
+    spread = suite_spread(result, pc_with_concurrency)
+    print("spread along concurrency PC:", spread)
+    others = [v for suite, v in spread.items() if suite != "renaissance"]
+    assert spread["renaissance"] > max(others), spread
+
+    # The first four PCs carry a meaningful share of the variance
+    # (the paper reports ~60%).
+    assert result.variance_fraction(4) > 0.5

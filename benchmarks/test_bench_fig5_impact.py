@@ -1,0 +1,61 @@
+"""Regenerates Figure 5 / Tables 12-15 (optimization impact).
+
+Quick mode measures each of the seven optimizations on its headline
+Renaissance benchmark plus a DaCapo/ScalaBench/SPECjvm spot-check row;
+full mode (REPRO_FULL=1) sweeps every benchmark.
+"""
+
+from benchmarks.conftest import FULL, selected_benchmarks, shrink
+from repro.analysis.impact import format_table, impact_table, summarize
+from repro.jit.pipeline import OPT_CODES
+from repro.suites.registry import get_benchmark
+
+#: Headline (benchmark, optimization) pairs from the paper's Section 5.
+HEADLINES = {
+    "fj-kmeans": "LLC",
+    "future-genetic": "AC",
+    "finagle-chirper": "EAWA",
+    "scrabble": "MHS",
+    "streams-mnemonics": "DS",
+    "log-regression": "GM",
+    "als": "LV",
+}
+
+
+def _measure(forks):
+    if FULL:
+        benchmarks = selected_benchmarks()
+        return impact_table(benchmarks, OPT_CODES, forks=forks)
+    rows = {}
+    for name, code in HEADLINES.items():
+        bench = shrink(get_benchmark(name), warmup=5, measure=2)
+        rows.update(impact_table([bench], [code], forks=forks))
+    # Comparison-suite spot checks: the same optimizations should show
+    # little on non-Renaissance workloads.
+    for name in ("tradebeans", "scalatest", "derby"):
+        bench = shrink(get_benchmark(name), warmup=5, measure=2)
+        rows.update(impact_table([bench], ["AC", "EAWA", "LLC", "MHS"],
+                                 forks=forks))
+    return rows
+
+
+def test_bench_fig5_impact(benchmark, forks):
+    table = benchmark.pedantic(_measure, args=(forks,), rounds=1,
+                               iterations=1)
+    print("\n" + format_table(table))
+    summary = summarize(table)
+    print("summary:", summary)
+
+    # The paper's headline: all seven optimizations reach >=5%
+    # significant impact on some Renaissance benchmark.
+    for name, code in HEADLINES.items():
+        cell = next(c for c in table[name] if c.opt == code)
+        assert cell.impact >= 0.05, (name, code, cell.impact)
+        assert cell.significant, (name, code, cell.p_value)
+
+    # ... while the four new optimizations stay small on the comparison
+    # suites (paper: at most 1-3 of 7 reach 5% there).
+    for name in ("tradebeans", "scalatest", "derby"):
+        if name in table:
+            for cell in table[name]:
+                assert cell.impact < 0.05, (name, cell.opt, cell.impact)

@@ -1,0 +1,33 @@
+"""Regenerates Figure 6 (Graal vs C2 speedups with 99% CIs)."""
+
+from benchmarks.conftest import selected_benchmarks
+from repro.analysis.compiler_compare import compare_suites, summarize
+
+
+def test_bench_fig6_graal_vs_c2(benchmark, forks):
+    benches = selected_benchmarks()
+    rows = benchmark.pedantic(compare_suites, args=(benches,),
+                              kwargs={"forks": forks}, rounds=1,
+                              iterations=1)
+    print()
+    for row in rows:
+        print(row.format())
+    summary = summarize(rows)
+    print("summary:", summary)
+
+    # Figure 6 shape: Graal wins a clear majority of benchmarks
+    # (51 of 68 in the paper) and never loses catastrophically.
+    wins = summary["graal_wins"]
+    losses = summary["c2_wins"]
+    assert wins > losses, summary
+    assert wins >= len(rows) // 2, summary
+    assert all(row.speedup > 0.5 for row in rows)
+
+    # The Renaissance gap should be at least as large as SPECjvm's
+    # (the paper: performance varies much more on Renaissance).
+    def geo(suite):
+        from repro.harness.stats import geomean
+        mine = [r.speedup for r in rows if r.suite == suite]
+        return geomean(mine) if mine else 1.0
+
+    assert geo("renaissance") >= geo("specjvm") * 0.9

@@ -1,0 +1,25 @@
+"""Regenerates Figure 7 (compiled code size and hot-method counts)."""
+
+from benchmarks.conftest import selected_benchmarks
+from repro.analysis.code_size import code_size_table, suite_geomeans
+
+
+def test_bench_fig7_codesize(benchmark):
+    rows = benchmark.pedantic(code_size_table,
+                              args=(selected_benchmarks(),),
+                              kwargs={"warmup": 5, "measure": 1},
+                              rounds=1, iterations=1)
+    print()
+    for row in sorted(rows, key=lambda r: (r.suite, -r.code_bytes)):
+        print(f"{row.benchmark:24s} {row.suite:12s} "
+              f"{row.code_bytes:>8,}B {row.hot_methods:>3} hot methods")
+    means = suite_geomeans(rows)
+    print("geomeans:", means)
+
+    # Figure 7 shape: SPECjvm workloads are considerably smaller than
+    # the complex application suites.
+    spec = means["specjvm"]["geomean_code_bytes"]
+    ren = means["renaissance"]["geomean_code_bytes"]
+    assert spec < ren, means
+    assert means["specjvm"]["geomean_hot_methods"] <= \
+        means["renaissance"]["geomean_hot_methods"]

@@ -1,0 +1,29 @@
+"""Regenerates Table 16 (per-optimization compilation-time share)."""
+
+from benchmarks.conftest import FULL, selected_of, shrink
+from repro.analysis.compile_time import compile_time_shares, format_table16
+from repro.suites.registry import benchmarks_of, get_benchmark
+
+
+def _benchmarks():
+    if FULL:
+        return [shrink(b, warmup=5, measure=1)
+                for b in benchmarks_of("renaissance")]
+    return [shrink(get_benchmark(n), warmup=5, measure=1)
+            for n in ("scrabble", "streams-mnemonics", "future-genetic",
+                      "log-regression")]
+
+
+def test_bench_table16_compile_time(benchmark):
+    shares = benchmark.pedantic(compile_time_shares,
+                                args=(_benchmarks(),), rounds=1,
+                                iterations=1)
+    print("\n" + format_table16(shares))
+
+    # Table 16 shape: DBDS is by far the most expensive optimization to
+    # run; atomic-operation coalescing is nearly free.
+    assert shares["DS"] == max(shares.values()), shares
+    assert shares["AC"] <= min(v for k, v in shares.items()
+                               if k != "AC") + 1e-9 or \
+        shares["AC"] < 0.02, shares
+    assert shares["AC"] < shares["DS"] / 3, shares

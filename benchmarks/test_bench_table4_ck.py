@@ -1,0 +1,42 @@
+"""Regenerates Table 4 (CK metric summary) and Table 5 (loaded classes)."""
+
+from benchmarks.conftest import selected_of
+from repro.analysis.ck_experiment import (
+    ck_table,
+    format_table4,
+    loaded_class_counts,
+    suite_summary,
+)
+
+SUITES = ("renaissance", "dacapo", "scalabench", "specjvm")
+
+
+def _run():
+    out = {}
+    for suite in SUITES:
+        rows = ck_table(selected_of(suite))
+        out[suite] = {
+            "rows": rows,
+            "summary": suite_summary(rows),
+            "loaded": loaded_class_counts(rows),
+        }
+    return out
+
+
+def test_bench_table4_ck(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + format_table4({s: d["summary"] for s, d in data.items()}))
+    for suite in SUITES:
+        print(f"Table 5 {suite}: {data[suite]['loaded']}")
+
+    # Table 5 shape: Renaissance loads the most classes overall (its
+    # workloads pull in the concurrency frameworks).
+    totals = {suite: data[suite]["loaded"]["sum_all"] for suite in SUITES}
+    assert totals["renaissance"] == max(totals.values()), totals
+
+    # Table 4 shape: every suite is in the same ballpark on average
+    # complexity (geomean-avg WMC within a small factor), the paper's
+    # "Renaissance is as complex as DaCapo and ScalaBench".
+    wmc_avg = {suite: data[suite]["summary"]["avg"]["WMC"]["geomean"]
+               for suite in SUITES}
+    assert max(wmc_avg.values()) < 6 * min(wmc_avg.values()), wmc_avg

@@ -1,0 +1,64 @@
+"""Author a new benchmark against the harness API (paper Section 2.2:
+"the harness ... allows to easily add new benchmarks").
+
+Defines a producer/consumer workload in the guest language, wraps it in
+a GuestBenchmark, and runs it through the JMH-style frontend with an
+iteration-logging plugin attached.
+
+Run:  python examples/custom_benchmark.py
+"""
+
+from repro.harness import GuestBenchmark, run_jmh
+from repro.harness.plugins import IterationLogPlugin
+
+SOURCE = r"""
+class Bench {
+    static def run(n) {
+        var queue = new BlockingQueue(32);
+        var done = new CountDownLatch(1);
+        var consumer = new Thread(fun () {
+            var acc = 0;
+            var i = 0;
+            while (i < n) {
+                acc = (acc + queue.take()) % 1000003;
+                i = i + 1;
+            }
+            done.countDown();
+        });
+        consumer.daemon = true;
+        consumer.start();
+        var i = 0;
+        while (i < n) {
+            queue.put(i * 7);
+            i = i + 1;
+        }
+        done.await();
+        return n;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="example-producer-consumer",
+    suite="examples",
+    source=SOURCE,
+    description="bounded-queue handoff between two threads",
+    focus="guarded blocks (wait/notify)",
+    args=(300,),
+    expected=300,
+)
+
+
+def main() -> None:
+    log = IterationLogPlugin()
+    result = run_jmh(BENCHMARK, jit="graal", forks=2, warmup=4, measure=3,
+                     plugins=(log,))
+    print(result.format())
+    print("\nper-iteration walls (fork-major):")
+    for index, warmup, wall in log.log:
+        phase = "warmup " if warmup else "measure"
+        print(f"  {phase} #{index}: {wall:,} cycles")
+
+
+if __name__ == "__main__":
+    main()

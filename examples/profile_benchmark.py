@@ -1,0 +1,36 @@
+"""Profile a Renaissance benchmark's concurrency metrics (paper Table 2).
+
+Collects the eleven characterizing metrics on the interpreter (the
+analogue of the paper's DiSL-instrumented profiling runs) and prints
+both raw counts and rates normalized by reference cycles.
+
+Run:  python examples/profile_benchmark.py [benchmark-name]
+"""
+
+import sys
+
+from repro.metrics import METRIC_NAMES, collect_metrics, normalize_metrics
+from repro.suites.registry import get_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "finagle-chirper"
+    bench = get_benchmark(name)
+    print(f"profiling {bench.name} ({bench.suite}): {bench.description}")
+
+    raw, cycles = collect_metrics(bench)
+    normalized = normalize_metrics(raw, cycles)
+
+    print(f"\nsteady-state reference cycles: {cycles:,}\n")
+    print(f"{'metric':10s} {'raw count':>14s} {'per ref cycle':>14s}")
+    for metric in METRIC_NAMES:
+        if metric == "cpu":
+            print(f"{metric:10s} {raw[metric]:>13.1f}% "
+                  f"{normalized[metric]:>14.3f}")
+        else:
+            print(f"{metric:10s} {raw[metric]:>14,} "
+                  f"{normalized[metric]:>14.2e}")
+
+
+if __name__ == "__main__":
+    main()

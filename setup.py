@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (legacy editable installs go through ``setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Renaissance (PLDI 2019) reproduction: a simulated JVM, a Graal-like "
+        "JIT, and the full benchmark-suite analysis pipeline in pure Python"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

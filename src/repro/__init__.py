@@ -1,0 +1,32 @@
+"""Renaissance (PLDI 2019) reproduction on a simulated JVM.
+
+The package reproduces "Renaissance: Benchmarking Suite for Parallel
+Applications on the JVM" end to end in pure Python:
+
+- :mod:`repro.jvm` — the simulated JVM substrate (bytecode, scheduler,
+  monitors, heap, cache model, cycle cost model),
+- :mod:`repro.lang` — the guest language and its framework stdlib,
+- :mod:`repro.jit` — the Graal-like JIT with the paper's seven
+  optimizations and deoptimization,
+- :mod:`repro.runtime` — the :class:`~repro.runtime.vm.VM` facade,
+- :mod:`repro.suites` — all 68 workloads (Renaissance + comparison suites),
+- :mod:`repro.harness` / :mod:`repro.metrics` / :mod:`repro.ckmetrics` /
+  :mod:`repro.analysis` — measurement and per-table/figure experiment
+  drivers.
+
+Quick start::
+
+    from repro.lang import compile_program
+    from repro.runtime import VM
+
+    vm = VM(jit="graal")
+    vm.load(compile_program(source_text))
+    vm.invoke("Main.main")
+
+See README.md for the full tour and DESIGN.md for the paper-to-module
+substitution map.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

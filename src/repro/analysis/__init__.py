@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per paper table/figure.
+
+===================  ====================================================
+module               regenerates
+===================  ====================================================
+metrics_experiment   Table 7 (raw metrics), Figures 2/3/4 (normalized
+                     rates), Figure 1 / Table 3 (PCA)
+impact               Figure 5 and Tables 12–15 (optimization impact with
+                     Welch significance)
+compiler_compare     Figure 6 (Graal vs C2 speedups, 99% CI)
+ck_experiment        Tables 4/5 and 8–11 (CK metrics, loaded classes)
+code_size            Figure 7 (compiled code size, hot method count)
+compile_time         Table 16 (per-optimization compilation time)
+guard_counts         Section 5.5 guard-execution table
+hot_methods          Section 5.4 per-method MHS timing table
+===================  ====================================================
+"""

@@ -1,0 +1,66 @@
+"""CK software-complexity experiment (Tables 4/5 and 8–11).
+
+Runs each benchmark briefly (interpreter is enough — class loading is
+what matters), then computes the Chidamber–Kemerer metrics over the
+classes the VM actually loaded, exactly as the paper's JVMTI-agent +
+ckjm pipeline does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckmetrics import CK_METRIC_NAMES, ck_for_classes, suite_ck_summary
+from repro.harness.core import Runner
+
+
+@dataclass
+class CkRow:
+    benchmark: str
+    suite: str
+    metrics: dict          # {"sum": {...}, "avg": {...}, "classes": n}
+    loaded: set
+
+
+def ck_for_benchmark(benchmark) -> CkRow:
+    runner = Runner(benchmark, jit=None)
+    result = runner.run(warmup=0, measure=1)
+    vm = result.vm
+    classes = vm.pool.loaded_classes()
+    return CkRow(
+        benchmark=benchmark.name,
+        suite=benchmark.suite,
+        metrics=ck_for_classes(classes),
+        loaded={c.name for c in classes},
+    )
+
+
+def ck_table(benchmarks) -> list[CkRow]:
+    return [ck_for_benchmark(b) for b in benchmarks]
+
+
+def suite_summary(rows: list[CkRow]) -> dict:
+    """Table 4: min/max/geomean of sums and averages per suite."""
+    return suite_ck_summary([r.metrics for r in rows])
+
+
+def loaded_class_counts(rows: list[CkRow]) -> dict:
+    """Table 5: sum of all loaded classes vs unique loaded classes."""
+    all_count = sum(len(r.loaded) for r in rows)
+    unique: set = set()
+    for r in rows:
+        unique |= r.loaded
+    return {"sum_all": all_count, "sum_unique": len(unique)}
+
+
+def format_table4(summaries: dict[str, dict]) -> str:
+    lines = []
+    for suite, summary in summaries.items():
+        lines.append(f"{suite}:")
+        for kind in ("sum", "avg"):
+            for stat in ("min", "max", "geomean"):
+                cells = " ".join(
+                    f"{summary[kind][name][stat]:>10.2f}"
+                    for name in CK_METRIC_NAMES)
+                lines.append(f"  {stat}-{kind:3s} {cells}")
+    return "\n".join(lines)

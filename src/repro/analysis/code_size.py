@@ -1,0 +1,53 @@
+"""Compiled-code size experiment (Figure 7).
+
+Runs each benchmark long enough for tier-up to settle, then reads the
+JIT's code cache: total compiled (hot) code size and hot-method count,
+summarized per suite by geometric mean — the two panels of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.core import Runner
+from repro.harness.stats import geomean
+
+
+@dataclass
+class CodeSizeRow:
+    benchmark: str
+    suite: str
+    code_bytes: int
+    hot_methods: int
+
+
+def code_size_for(benchmark, *, warmup: int = 6, measure: int = 2
+                  ) -> CodeSizeRow:
+    runner = Runner(benchmark, jit="graal")
+    result = runner.run(warmup=warmup, measure=measure)
+    jit = result.vm.jit
+    return CodeSizeRow(
+        benchmark=benchmark.name,
+        suite=benchmark.suite,
+        code_bytes=jit.code_size_bytes(),
+        hot_methods=jit.hot_method_count(),
+    )
+
+
+def code_size_table(benchmarks, **kwargs) -> list[CodeSizeRow]:
+    return [code_size_for(b, **kwargs) for b in benchmarks]
+
+
+def suite_geomeans(rows: list[CodeSizeRow]) -> dict[str, dict]:
+    """Figure 7's per-suite geometric means."""
+    out: dict[str, dict] = {}
+    for suite in sorted({r.suite for r in rows}):
+        mine = [r for r in rows if r.suite == suite]
+        out[suite] = {
+            "geomean_code_bytes": geomean([r.code_bytes for r in mine
+                                           if r.code_bytes > 0]),
+            "geomean_hot_methods": geomean([r.hot_methods for r in mine
+                                            if r.hot_methods > 0]),
+            "benchmarks": len(mine),
+        }
+    return out

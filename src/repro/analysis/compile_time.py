@@ -1,0 +1,40 @@
+"""Compilation-time experiment (Table 16).
+
+The JIT accounts simulated compiler-thread cycles per phase
+(:class:`repro.jit.jit.CompileStats`).  Table 16 reports, per
+optimization, the relative reduction in compiler-thread time when the
+optimization is disabled — equivalently, the fraction of compile time
+the phase is responsible for, aggregated over all benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.harness.core import Runner
+from repro.jit.jit import PHASE_TO_OPT
+from repro.jit.pipeline import OPT_CODES, graal_config
+
+
+def compile_time_shares(benchmarks, *, warmup: int = 5) -> dict[str, float]:
+    """Fraction of total compiler-thread cycles attributable to each
+    optimization, summed over ``benchmarks``."""
+    per_opt = {code: 0 for code in OPT_CODES}
+    total = 0
+    for bench in benchmarks:
+        runner = Runner(bench, jit=graal_config())
+        result = runner.run(warmup=warmup, measure=1)
+        stats = result.vm.jit.stats
+        total += stats.total_cycles
+        for code in OPT_CODES:
+            per_opt[code] += stats.opt_cycles(code)
+    if total == 0:
+        return {code: 0.0 for code in OPT_CODES}
+    return {code: cycles / total for code, cycles in per_opt.items()}
+
+
+def format_table16(shares: dict[str, float]) -> str:
+    from repro.jit.pipeline import OPT_NAMES
+
+    lines = [f"{'optimization':42s} compilation time share"]
+    for code, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+        lines.append(f"{OPT_NAMES[code]:42s} {share * 100:5.1f}%")
+    return "\n".join(lines)

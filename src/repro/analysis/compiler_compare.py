@@ -1,0 +1,84 @@
+"""Graal-vs-C2 comparison (Figure 6).
+
+Runs each benchmark under both compiler configurations and reports the
+speedup of Graal relative to the C2 baseline with a 99% confidence
+interval, classifying each benchmark as a Graal win, a C2 win, or a tie
+(CI straddles 1.0) — the categories of the paper's Figure 6 narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.jmh import run_jmh
+from repro.harness.stats import confidence_interval, geomean, mean
+from repro.jit.pipeline import c2_config, graal_config
+
+
+@dataclass
+class CompareRow:
+    benchmark: str
+    suite: str
+    speedup: float                  # >1: Graal faster than C2
+    ci: tuple[float, float]
+
+    @property
+    def verdict(self) -> str:
+        lo, hi = self.ci
+        if lo > 1.0:
+            return "graal"
+        if hi < 1.0:
+            return "c2"
+        return "tie"
+
+    def format(self) -> str:
+        lo, hi = self.ci
+        return (f"{self.benchmark:24s} {self.speedup:5.2f}x "
+                f"[{lo:4.2f}, {hi:4.2f}] {self.verdict}")
+
+
+def compare(benchmark, *, forks: int = 3, warmup=None, measure=None
+            ) -> CompareRow:
+    graal = run_jmh(benchmark, jit=graal_config(), forks=forks,
+                    warmup=warmup, measure=measure)
+    c2 = run_jmh(benchmark, jit=c2_config(), forks=forks,
+                 warmup=warmup, measure=measure)
+    # Per-fork speedups give the CI its variance.
+    ratios = [c2_wall / graal_wall
+              for c2_wall, graal_wall in zip(c2.fork_means, graal.fork_means)
+              if graal_wall > 0]
+    return CompareRow(
+        benchmark=benchmark.name,
+        suite=benchmark.suite,
+        speedup=mean(ratios),
+        ci=confidence_interval(ratios),
+    )
+
+
+def compare_suites(benchmarks, *, forks: int = 3, warmup=None,
+                   measure=None) -> list[CompareRow]:
+    return [compare(b, forks=forks, warmup=warmup, measure=measure)
+            for b in benchmarks]
+
+
+def summarize(rows: list[CompareRow]) -> dict:
+    """The Figure 6 headline numbers: win counts and median speedups."""
+    graal_wins = [r for r in rows if r.verdict == "graal"]
+    c2_wins = [r for r in rows if r.verdict == "c2"]
+    ties = [r for r in rows if r.verdict == "tie"]
+    return {
+        "graal_wins": len(graal_wins),
+        "c2_wins": len(c2_wins),
+        "ties": len(ties),
+        "median_graal_speedup": _median([r.speedup for r in graal_wins]),
+        "median_c2_advantage": _median([1 / r.speedup for r in c2_wins])
+        if c2_wins else 0.0,
+        "geomean_speedup": geomean([r.speedup for r in rows]),
+    }
+
+
+def _median(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]

@@ -1,0 +1,53 @@
+"""Guard-execution experiment (the Section 5.5 table).
+
+Runs a benchmark with speculative guard motion enabled and disabled and
+reports dynamic guard executions by kind — the paper's table showing the
+83% total reduction and the shift from plain to "Speculative" guard
+variants on log-regression.
+"""
+
+from __future__ import annotations
+
+from repro.harness.core import Runner
+from repro.jit.pipeline import graal_config
+
+
+def guard_counts(benchmark, *, with_gm: bool = True, warmup: int = 5,
+                 measure: int = 2) -> dict[str, int]:
+    """Steady-state guard executions by kind label."""
+    config = graal_config() if with_gm else graal_config().without("GM")
+    runner = Runner(benchmark, jit=config)
+    result = runner.run(warmup=warmup, measure=measure)
+    return dict(result.counters.get("guard_kinds", {}))
+
+
+def guard_table(benchmark, **kwargs) -> dict:
+    """Both halves of the Section 5.5 table plus the reduction factor."""
+    without = guard_counts(benchmark, with_gm=False, **kwargs)
+    with_gm = guard_counts(benchmark, with_gm=True, **kwargs)
+    total_without = sum(without.values())
+    total_with = sum(with_gm.values())
+    reduction = (1 - total_with / total_without) if total_without else 0.0
+    return {
+        "without": without,
+        "with": with_gm,
+        "total_without": total_without,
+        "total_with": total_with,
+        "reduction": reduction,
+    }
+
+
+def format_guard_table(table: dict) -> str:
+    lines = ["Without speculative guard motion:"]
+    for kind, count in sorted(table["without"].items(), key=lambda kv: kv[1]):
+        share = count / table["total_without"] * 100 \
+            if table["total_without"] else 0
+        lines.append(f"  {count:>12,} {share:3.0f}%  {kind}")
+    lines.append(f"  {table['total_without']:>12,} 100%  Total")
+    lines.append("With speculative guard motion:")
+    for kind, count in sorted(table["with"].items(), key=lambda kv: kv[1]):
+        share = count / table["total_with"] * 100 if table["total_with"] else 0
+        lines.append(f"  {count:>12,} {share:3.0f}%  {kind}")
+    lines.append(f"  {table['total_with']:>12,} 100%  Total")
+    lines.append(f"reduction: {table['reduction'] * 100:.0f}%")
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Optimization-impact experiment (Figure 5, Tables 12–15).
+
+Methodology follows paper Section 6: the impact of an optimization on a
+benchmark is the relative change in execution time when the optimization
+is *selectively disabled*, measured against the all-on baseline, with
+Welch's t-test on per-fork means deciding significance (α = 0.01) and
+winsorized iteration times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.core import GuestBenchmark
+from repro.harness.jmh import run_jmh
+from repro.harness.stats import mean, relative_impact, welch_t_test, winsorize
+from repro.jit.pipeline import OPT_CODES, graal_config
+
+ALPHA = 0.01
+
+
+@dataclass
+class ImpactCell:
+    """One (benchmark, optimization) entry of Tables 12–15."""
+
+    benchmark: str
+    opt: str
+    impact: float       # positive => disabling slows the benchmark down
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < ALPHA
+
+    def format(self) -> str:
+        return f"{self.impact * 100:+5.1f}% (p={self.p_value:4.2f})"
+
+
+def measure_impact(benchmark: GuestBenchmark, codes=OPT_CODES, *,
+                   forks: int = 3, warmup: int | None = None,
+                   measure: int | None = None,
+                   base_config=None) -> list[ImpactCell]:
+    """Impact of each optimization in ``codes`` on ``benchmark``."""
+    config = base_config or graal_config()
+    baseline = run_jmh(benchmark, jit=config, forks=forks,
+                       warmup=warmup, measure=measure)
+    base_walls = winsorize(baseline.walls)
+    cells = []
+    for code in codes:
+        disabled = run_jmh(benchmark, jit=config.without(code), forks=forks,
+                           warmup=warmup, measure=measure)
+        walls = winsorize(disabled.walls)
+        cells.append(ImpactCell(
+            benchmark=benchmark.name,
+            opt=code,
+            impact=relative_impact(walls, base_walls),
+            p_value=welch_t_test(disabled.fork_means, baseline.fork_means),
+        ))
+    return cells
+
+
+def impact_table(benchmarks, codes=OPT_CODES, *, forks: int = 3,
+                 warmup: int | None = None,
+                 measure: int | None = None) -> dict[str, list[ImpactCell]]:
+    """Tables 12–15 rows for ``benchmarks``."""
+    return {b.name: measure_impact(b, codes, forks=forks, warmup=warmup,
+                                   measure=measure)
+            for b in benchmarks}
+
+
+def summarize(table: dict[str, list[ImpactCell]]) -> dict:
+    """Per-optimization summary used for the Figure 5 headline claims:
+    how many optimizations reach ≥5% significant impact on some
+    benchmark, and the median significant impact."""
+    per_opt_max: dict[str, float] = {}
+    significant_impacts: list[float] = []
+    for cells in table.values():
+        for cell in cells:
+            if cell.significant:
+                significant_impacts.append(cell.impact)
+                prev = per_opt_max.get(cell.opt, float("-inf"))
+                per_opt_max[cell.opt] = max(prev, cell.impact)
+    over_5 = sorted(code for code, imp in per_opt_max.items()
+                    if imp >= 0.05)
+    positives = sorted(i for i in significant_impacts if i > 0)
+    median = positives[len(positives) // 2] if positives else 0.0
+    return {
+        "opts_with_5pct": over_5,
+        "count_over_5pct": len(over_5),
+        "median_significant_impact": median,
+        "per_opt_max": per_opt_max,
+    }
+
+
+def format_table(table: dict[str, list[ImpactCell]], codes=OPT_CODES) -> str:
+    lines = ["benchmark             " + " ".join(f"{c:>15s}" for c in codes)]
+    for name, cells in table.items():
+        by_code = {c.opt: c for c in cells}
+        row = f"{name:22s}"
+        for code in codes:
+            cell = by_code.get(code)
+            if cell is None:
+                row += " " * 16
+                continue
+            mark = "*" if cell.significant else " "
+            row += f" {cell.impact * 100:+6.1f}%{mark} p={cell.p_value:4.2f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""One-shot evaluation report: ``python -m repro.analysis.report``.
+
+Runs a compact version of every paper experiment and prints the
+regenerated tables/figures as text.  ``--full`` widens to all 68
+benchmarks (slow).  The pytest-benchmark modules under ``benchmarks/``
+wrap the same drivers with shape assertions; this CLI is for humans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.analysis.ck_experiment import (
+    ck_table,
+    format_table4,
+    loaded_class_counts,
+    suite_summary,
+)
+from repro.analysis.code_size import code_size_table, suite_geomeans
+from repro.analysis.compile_time import compile_time_shares, format_table16
+from repro.analysis.compiler_compare import compare_suites
+from repro.analysis.compiler_compare import summarize as cc_summarize
+from repro.analysis.guard_counts import format_guard_table, guard_table
+from repro.analysis.hot_methods import format_method_table, mhs_method_table
+from repro.analysis.impact import format_table, impact_table, summarize
+from repro.analysis.metrics_experiment import (
+    format_loadings,
+    format_table7,
+    pca_experiment,
+    profile_benchmarks,
+)
+from repro.suites.registry import all_benchmarks, get_benchmark
+
+QUICK = (
+    "scrabble", "streams-mnemonics", "future-genetic", "fj-kmeans",
+    "log-regression", "als", "finagle-chirper",
+    "avrora", "h2", "factorie", "scalatest",
+    "scimark.lu.small", "compress",
+)
+
+HEADLINES = {
+    "fj-kmeans": "LLC", "future-genetic": "AC", "finagle-chirper": "EAWA",
+    "scrabble": "MHS", "streams-mnemonics": "DS", "log-regression": "GM",
+    "als": "LV",
+}
+
+
+def _benchmarks(full: bool):
+    if full:
+        return [dataclasses.replace(b, warmup=5, measure=3)
+                for b in all_benchmarks()]
+    return [dataclasses.replace(get_benchmark(n), warmup=4, measure=2)
+            for n in QUICK]
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run every workload (slow)")
+    parser.add_argument("--forks", type=int, default=2)
+    args = parser.parse_args(argv)
+    benches = _benchmarks(args.full)
+
+    section("Table 7 / Figures 2-4 — characterizing metrics")
+    rows = profile_benchmarks(benches, measure=1)
+    print(format_table7(rows))
+
+    section("Figure 1 / Table 3 — PCA")
+    print(format_loadings(pca_experiment(rows)))
+
+    section("Figure 5 / Tables 12-15 — optimization impact")
+    table = {}
+    for name, code in HEADLINES.items():
+        bench = dataclasses.replace(get_benchmark(name), warmup=5,
+                                    measure=2)
+        table.update(impact_table([bench], [code], forks=args.forks))
+    print(format_table(table, sorted({c for cs in table.values()
+                                      for c in (x.opt for x in cs)})))
+    print("summary:", summarize(table))
+
+    section("Figure 6 — Graal vs C2")
+    rows6 = compare_suites(benches[:10], forks=args.forks)
+    for row in rows6:
+        print(row.format())
+    print("summary:", cc_summarize(rows6))
+
+    section("Table 4 / Table 5 — CK metrics and loaded classes")
+    by_suite = {}
+    for suite in ("renaissance", "dacapo", "scalabench", "specjvm"):
+        suite_rows = ck_table([b for b in benches if b.suite == suite])
+        if suite_rows:
+            by_suite[suite] = suite_summary(suite_rows)
+            print(f"Table 5 {suite}: {loaded_class_counts(suite_rows)}")
+    print(format_table4(by_suite))
+
+    section("Figure 7 — compiled code size")
+    rows7 = code_size_table(benches, warmup=5, measure=1)
+    print(suite_geomeans(rows7))
+
+    section("Table 16 — compilation time")
+    shares = compile_time_shares(
+        [b for b in benches if b.suite == "renaissance"], warmup=5)
+    print(format_table16(shares))
+
+    section("Section 5.5 — guard counts (log-regression)")
+    print(format_guard_table(guard_table(
+        dataclasses.replace(get_benchmark("log-regression"), warmup=5,
+                            measure=2))))
+
+    section("Section 5.4 — hot methods (scrabble)")
+    print(format_method_table(mhs_method_table(
+        dataclasses.replace(get_benchmark("scrabble"), warmup=5,
+                            measure=2))))
+
+
+if __name__ == "__main__":
+    main()

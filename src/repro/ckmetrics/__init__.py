@@ -1,0 +1,6 @@
+"""Chidamber–Kemerer software-complexity metrics (paper Section 7.1)."""
+
+from repro.ckmetrics.ck import CK_METRIC_NAMES, ck_for_class, ck_for_classes, suite_ck_summary
+
+__all__ = ["CK_METRIC_NAMES", "ck_for_class", "ck_for_classes",
+           "suite_ck_summary"]

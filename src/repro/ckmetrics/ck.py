@@ -1,0 +1,92 @@
+"""Chidamber–Kemerer metrics over loaded guest classes.
+
+The paper computes six CK metrics with ckjm over the classes each
+benchmark loads (via a JVMTI agent).  Here the guest class model carries
+everything statically — the codegen records per-method called-method and
+accessed-field sets — and the VM marks classes loaded during execution,
+so ``ck_for_classes(vm.pool.loaded_classes())`` is the agent+ckjm
+equivalent.
+
+Metrics (Section 7.1): WMC (methods per class), DIT (inheritance depth),
+NOC (immediate subclasses), CBO (coupled classes), RFC (methods +
+directly-called methods), LCOM (method pairs sharing no field, minus
+pairs sharing one, floored at zero).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+CK_METRIC_NAMES = ("WMC", "DIT", "CBO", "NOC", "RFC", "LCOM")
+
+
+def ck_for_class(jclass, loaded_names: set[str] | None = None) -> dict:
+    """The six CK metrics for one class."""
+    methods = [m for m in jclass.methods.values()]
+    wmc = len(methods)
+    dit = jclass.depth
+    noc = len(jclass.subclasses if loaded_names is None
+              else [s for s in jclass.subclasses if s in loaded_names])
+
+    coupled: set[str] = set(getattr(jclass, "referenced", ()) or ())
+    response: set[tuple] = set()
+    for method in methods:
+        response.add((jclass.name, method.name))
+        for owner, name in method.called:
+            response.add((owner or "?", name))
+            if owner and owner != jclass.name:
+                coupled.add(owner)
+        for owner, field in method.accessed_fields:
+            if owner and owner != jclass.name:
+                coupled.add(owner)
+    coupled.discard(jclass.name)
+    coupled.discard("Object")
+    cbo = len(coupled)
+    rfc = len(response)
+
+    own_fields = set(jclass.fields)
+    per_method_fields = []
+    for method in methods:
+        used = {field for owner, field in method.accessed_fields
+                if (owner in (None, jclass.name)) and field in own_fields}
+        per_method_fields.append(used)
+    p = q = 0
+    for a, b in combinations(per_method_fields, 2):
+        if a and b and a & b:
+            q += 1
+        else:
+            p += 1
+    lcom = max(0, p - q)
+
+    return {"WMC": wmc, "DIT": dit, "CBO": cbo, "NOC": noc,
+            "RFC": rfc, "LCOM": lcom}
+
+
+def ck_for_classes(classes) -> dict:
+    """Sum and average of each CK metric across ``classes``."""
+    loaded = {c.name for c in classes}
+    sums = {name: 0 for name in CK_METRIC_NAMES}
+    for jclass in classes:
+        metrics = ck_for_class(jclass, loaded)
+        for name in CK_METRIC_NAMES:
+            sums[name] += metrics[name]
+    count = max(1, len(classes))
+    avgs = {name: sums[name] / count for name in CK_METRIC_NAMES}
+    return {"sum": sums, "avg": avgs, "classes": len(classes)}
+
+
+def suite_ck_summary(per_benchmark: list[dict]) -> dict:
+    """Min/max/geomean of sums and averages across a suite (Table 4)."""
+    from repro.harness.stats import geomean
+
+    out = {}
+    for kind in ("sum", "avg"):
+        out[kind] = {}
+        for name in CK_METRIC_NAMES:
+            values = [entry[kind][name] for entry in per_benchmark]
+            out[kind][name] = {
+                "min": min(values),
+                "max": max(values),
+                "geomean": geomean([v if v > 0 else 1 for v in values]),
+            }
+    return out

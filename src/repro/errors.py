@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Errors are split into three families:
+
+- :class:`ReproError` — base class for everything raised on purpose.
+- Host-side errors (:class:`LinkError`, :class:`CompileError`, ...) signal
+  misuse of the library or bugs in guest programs detected at build time.
+- :class:`GuestRuntimeError` and subclasses signal runtime faults of the
+  *guest* program (null dereference, out-of-bounds access, division by
+  zero).  They deliberately mirror the JVM exceptions of the same name.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class LexError(ReproError):
+    """Raised by the guest-language lexer on malformed input."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class ParseError(ReproError):
+    """Raised by the guest-language parser on a syntax error."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class TypeCheckError(ReproError):
+    """Raised by the guest-language type checker."""
+
+
+class CompileError(ReproError):
+    """Raised by bytecode codegen or the JIT on an internal inconsistency."""
+
+
+class LinkError(ReproError):
+    """Raised when class/method/field resolution fails at link time."""
+
+
+class VMError(ReproError):
+    """Raised on an internal inconsistency of the simulated JVM."""
+
+
+class GuestRuntimeError(ReproError):
+    """Base class for guest-program runtime faults (guest 'exceptions')."""
+
+
+class GuestNullPointerError(GuestRuntimeError):
+    """Guest dereferenced a null reference."""
+
+
+class GuestBoundsError(GuestRuntimeError):
+    """Guest accessed an array out of bounds."""
+
+
+class GuestArithmeticError(GuestRuntimeError):
+    """Guest divided by zero."""
+
+
+class GuestCastError(GuestRuntimeError):
+    """Guest checkcast failed."""
+
+
+class DeadlockError(VMError):
+    """All guest threads are blocked and none can make progress."""

@@ -1,0 +1,20 @@
+"""The benchmark harness (paper Section 2.2).
+
+- :mod:`repro.harness.core` — the :class:`GuestBenchmark` definition and
+  the warmup/steady-state :class:`Runner`,
+- :mod:`repro.harness.plugins` — the measurement-plugin interface the
+  paper's metric collection uses,
+- :mod:`repro.harness.jmh` — a JMH-style frontend (forks × iterations
+  with summary statistics),
+- :mod:`repro.harness.stats` — Welch's t-test, winsorization, geometric
+  means and confidence intervals.
+"""
+
+from repro.harness.core import GuestBenchmark, IterationResult, Runner, RunResult
+from repro.harness.plugins import HarnessPlugin
+from repro.harness.jmh import JmhResult, run_jmh
+
+__all__ = [
+    "GuestBenchmark", "IterationResult", "Runner", "RunResult",
+    "HarnessPlugin", "JmhResult", "run_jmh",
+]

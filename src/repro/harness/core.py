@@ -1,0 +1,141 @@
+"""Benchmark definitions and the warmup/steady-state runner.
+
+Each workload is a :class:`GuestBenchmark`: a guest program plus an
+entry point invoked once per iteration.  The :class:`Runner` executes
+warmup iterations (letting the JIT tier up), then measured iterations,
+reporting per-iteration simulated wall times and counter deltas — the
+same shape as the paper's harness ("the default execution time of each
+benchmark is tuned to take several seconds"; here, several million
+simulated cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.errors import ReproError
+from repro.lang import compile_program
+from repro.runtime import VM
+
+
+@dataclass(frozen=True)
+class GuestBenchmark:
+    """One workload: guest source + entry point + expected result."""
+
+    name: str
+    suite: str
+    source: str
+    description: str = ""
+    focus: str = ""
+    entry: str = "Bench.run"
+    args: tuple = ()
+    expected: object = None       # per-iteration result check (None = skip)
+    warmup: int = 6
+    measure: int = 4
+    #: False when the checksum legitimately depends on thread interleaving
+    #: (the paper: "it is not possible to achieve full determinism in
+    #: concurrent benchmarks"); such results vary across configs/seeds.
+    deterministic: bool = True
+
+    def compile(self):
+        return _compiled(self.source)
+
+
+@lru_cache(maxsize=256)
+def _compiled(source: str):
+    return compile_program(source)
+
+
+@dataclass
+class IterationResult:
+    wall: int
+    work: int
+    cpu: float
+    result: object
+
+
+@dataclass
+class RunResult:
+    benchmark: str
+    config: str
+    iterations: list[IterationResult] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)   # steady-state deltas
+    cpu: float = 0.0
+    vm: object = None
+
+    @property
+    def mean_wall(self) -> float:
+        if not self.iterations:
+            return 0.0
+        return sum(it.wall for it in self.iterations) / len(self.iterations)
+
+    @property
+    def walls(self) -> list[int]:
+        return [it.wall for it in self.iterations]
+
+
+class ValidationError(ReproError):
+    """A benchmark produced an unexpected result."""
+
+
+class Runner:
+    """Runs one benchmark in one VM configuration."""
+
+    def __init__(self, benchmark: GuestBenchmark, *, jit="graal",
+                 cores: int = 8, schedule_seed: int = 0,
+                 plugins: tuple = ()) -> None:
+        self.benchmark = benchmark
+        self.jit = jit
+        self.cores = cores
+        self.schedule_seed = schedule_seed
+        self.plugins = list(plugins)
+
+    def run(self, warmup: int | None = None,
+            measure: int | None = None) -> RunResult:
+        bench = self.benchmark
+        warmup = bench.warmup if warmup is None else warmup
+        measure = bench.measure if measure is None else measure
+        vm = VM(jit=self.jit, cores=self.cores,
+                schedule_seed=self.schedule_seed)
+        vm.load(bench.compile())
+        if self.jit is None:
+            config = "interpreter"
+        elif isinstance(self.jit, str):
+            config = self.jit
+        else:
+            config = self.jit.name
+        result = RunResult(bench.name, config, vm=vm)
+        for plugin in self.plugins:
+            plugin.before_run(vm, bench)
+
+        for i in range(warmup):
+            self._iteration(vm, bench, None, i, warmup=True)
+
+        steady_before = vm.counters.snapshot()
+        timing_before = vm.timing_snapshot()
+        for i in range(measure):
+            self._iteration(vm, bench, result, i, warmup=False)
+        result.counters = vm.counters.diff(steady_before)
+        result.cpu = vm.interval_stats(timing_before)["cpu"]
+
+        for plugin in self.plugins:
+            plugin.after_run(vm, bench, result)
+        return result
+
+    def _iteration(self, vm: VM, bench: GuestBenchmark, result, index: int,
+                   *, warmup: bool) -> None:
+        for plugin in self.plugins:
+            plugin.before_iteration(vm, bench, index, warmup)
+        before = vm.timing_snapshot()
+        value = vm.invoke(bench.entry, list(bench.args),
+                          name=f"{bench.name}-it{index}")
+        stats = vm.interval_stats(before)
+        if bench.expected is not None and value != bench.expected:
+            raise ValidationError(
+                f"{bench.name}: expected {bench.expected!r}, got {value!r}")
+        if result is not None:
+            result.iterations.append(IterationResult(
+                stats["wall"], stats["work"], stats["cpu"], value))
+        for plugin in self.plugins:
+            plugin.after_iteration(vm, bench, index, warmup, stats)

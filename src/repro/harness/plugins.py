@@ -1,0 +1,38 @@
+"""Measurement-plugin interface (paper Section 2.2).
+
+"The harness also provides an interface for custom measurement plugins,
+which can latch onto benchmark execution events" — plugins receive the
+VM around runs and iterations.  The metrics profiler
+(:class:`repro.metrics.profiler.MetricsPlugin`) is the main client, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+
+class HarnessPlugin:
+    """Base class; override any subset of the hooks."""
+
+    def before_run(self, vm, benchmark) -> None:
+        """Called once, after program load, before warmup."""
+
+    def after_run(self, vm, benchmark, result) -> None:
+        """Called once, after the last measured iteration."""
+
+    def before_iteration(self, vm, benchmark, index: int,
+                         warmup: bool) -> None:
+        """Called before each iteration (warmup included)."""
+
+    def after_iteration(self, vm, benchmark, index: int, warmup: bool,
+                        stats: dict) -> None:
+        """Called after each iteration with its wall/work/cpu stats."""
+
+
+class IterationLogPlugin(HarnessPlugin):
+    """Example plugin: records (index, warmup, wall) tuples."""
+
+    def __init__(self) -> None:
+        self.log: list[tuple[int, bool, int]] = []
+
+    def after_iteration(self, vm, benchmark, index, warmup, stats) -> None:
+        self.log.append((index, warmup, stats["wall"]))

@@ -1,0 +1,16 @@
+"""The Graal-like JIT compiler.
+
+This package is the reproduction of the paper's optimization playground:
+a CFG-based SSA IR (:mod:`repro.jit.ir`), a bytecode-to-IR graph builder
+with framestates for deoptimization (:mod:`repro.jit.graph_builder`),
+loop analysis (:mod:`repro.jit.loops`), one module per paper optimization
+under :mod:`repro.jit.phases`, IR lowering to register-based compiled
+code (:mod:`repro.jit.lowering`), the compiled-code executor
+(:mod:`repro.jit.machine`), deoptimization (:mod:`repro.jit.deopt`),
+pipeline configurations for "Graal" and "C2" (:mod:`repro.jit.pipeline`),
+and the tiering policy (:mod:`repro.jit.jit`).
+"""
+
+from repro.jit.pipeline import JitConfig, OPT_NAMES, c2_config, graal_config
+
+__all__ = ["JitConfig", "OPT_NAMES", "c2_config", "graal_config"]

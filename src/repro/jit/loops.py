@@ -1,0 +1,151 @@
+"""Dominator and natural-loop analysis over the IR CFG.
+
+Used by speculative guard motion (hoisting to preheaders), loop
+vectorization, loop-wide lock coarsening and the loop-unrolling phase.
+Implements the Cooper–Harvey–Kennedy iterative dominator algorithm and
+back-edge-based natural-loop discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jit.ir import Block, Graph, Node
+
+
+def compute_dominators(graph: Graph) -> dict[int, Block]:
+    """Immediate dominator of every reachable block (entry maps to itself)."""
+    order = graph.reachable_blocks()
+    index = {b.id: i for i, b in enumerate(order)}
+    idom: dict[int, Block] = {graph.entry.id: graph.entry}
+
+    def intersect(a: Block, b: Block) -> Block:
+        while a is not b:
+            while index[a.id] > index[b.id]:
+                a = idom[a.id]
+            while index[b.id] > index[a.id]:
+                b = idom[b.id]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is graph.entry:
+                continue
+            new_idom = None
+            for pred in block.preds:
+                if pred.id in idom:
+                    new_idom = (pred if new_idom is None
+                                else intersect(pred, new_idom))
+            if new_idom is not None and idom.get(block.id) is not new_idom:
+                idom[block.id] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: dict[int, Block], a: Block, b: Block) -> bool:
+    """True if ``a`` dominates ``b``."""
+    current = b
+    while True:
+        if current is a:
+            return True
+        parent = idom.get(current.id)
+        if parent is None or parent is current:
+            return current is a
+        current = parent
+
+
+@dataclass
+class Loop:
+    """A natural loop: header + body blocks (header included)."""
+
+    header: Block
+    blocks: set[int] = field(default_factory=set)
+    back_edges: list[Block] = field(default_factory=list)
+    preheader: Block | None = None
+
+    def contains(self, block: Block) -> bool:
+        return block.id in self.blocks
+
+    def exits(self) -> list[tuple[Block, Block]]:
+        """(from, to) edges leaving the loop."""
+        out = []
+        for bid in self.blocks:
+            block = self._block_map[bid]
+            for succ in block.successors:
+                if succ.id not in self.blocks:
+                    out.append((block, succ))
+        return out
+
+    # filled by find_loops for exits()
+    _block_map: dict = field(default_factory=dict, repr=False)
+
+
+def find_loops(graph: Graph) -> list[Loop]:
+    """Natural loops (merged per header), innermost-last order."""
+    idom = compute_dominators(graph)
+    block_map = {b.id: b for b in graph.blocks}
+    loops: dict[int, Loop] = {}
+    for block in graph.blocks:
+        for succ in block.successors:
+            if dominates(idom, succ, block):      # back edge block -> succ
+                loop = loops.get(succ.id)
+                if loop is None:
+                    loop = Loop(header=succ)
+                    loop.blocks.add(succ.id)
+                    loop._block_map = block_map
+                    loops[succ.id] = loop
+                loop.back_edges.append(block)
+                # Walk predecessors backwards from the back edge source.
+                stack = [block]
+                while stack:
+                    current = stack.pop()
+                    if current.id in loop.blocks:
+                        continue
+                    loop.blocks.add(current.id)
+                    stack.extend(current.preds)
+    result = list(loops.values())
+    result.sort(key=lambda lp: len(lp.blocks), reverse=True)
+    return result
+
+
+def ensure_preheader(graph: Graph, loop: Loop) -> Block:
+    """Return the unique forward predecessor of the loop header, creating
+    a fresh preheader block if the header has several forward preds.
+
+    The preheader is where speculative guard motion hoists guards to.
+    """
+    forward = [p for p in loop.header.preds if p.id not in loop.blocks]
+    if len(forward) == 1:
+        pred = forward[0]
+        # A forward pred that only jumps to the header can serve directly.
+        if pred.terminator is not None and pred.terminator[0] == "jump":
+            loop.preheader = pred
+            return pred
+    pre = graph.new_block()
+    pre.bc_pc = loop.header.bc_pc
+    pre.entry_state = loop.header.entry_state
+    pre.terminator = ("jump", loop.header)
+    header = loop.header
+    # Retarget forward preds and fix φ alignment: collapse the forward
+    # φ-inputs into new φ-nodes in the preheader.
+    forward_idx = [i for i, p in enumerate(header.preds)
+                   if p.id not in loop.blocks]
+    back_idx = [i for i, p in enumerate(header.preds)
+                if p.id in loop.blocks]
+    for phi in header.phis:
+        if len(forward_idx) == 1:
+            pre_value = phi.inputs[forward_idx[0]]
+        else:
+            pre_phi = Node("phi", [phi.inputs[i] for i in forward_idx])
+            pre.add_phi(pre_phi)
+            pre_value = pre_phi
+        phi.inputs = [pre_value] + [phi.inputs[i] for i in back_idx]
+    for pred in forward:
+        pred.replace_successor(header, pre)
+    pre.preds = forward
+    header.preds = [pre] + [header.preds[i] for i in back_idx]
+    graph.blocks.append(pre)
+    loop.preheader = pre
+    return pre

@@ -1,0 +1,17 @@
+"""Optimization phases of the JIT, one module per paper optimization.
+
+================  ==========================================  =======
+module            optimization                                section
+================  ==========================================  =======
+inlining          call-graph inlining + devirtualization      (substrate)
+cleanup           canonicalization, CSE, DCE                  (substrate)
+method_handle     Method-Handle Simplification (MHS)          5.4
+escape_analysis   Partial Escape Analysis, EAWA variant       5.1
+duplication       Dominance-Based Duplication Simulation      5.7
+guard_motion      Speculative Guard Motion (GM)               5.5
+vectorization     Loop Vectorization (LV)                     5.6
+unrolling         classic loop unrolling (C2's strength)      (baseline)
+lock_coarsening   Loop-Wide Lock Coarsening (LLC)             5.2
+atomic_coalescing Atomic-Operation Coalescing (AC)            5.3
+================  ==========================================  =======
+"""

@@ -1,0 +1,123 @@
+"""Loop Vectorization (LV) — paper Section 5.6.
+
+Marks counted loops whose body is straight-line array arithmetic for
+vector execution: the lowered body operations are charged amortized
+SIMD cost (``VECTOR_LANES`` elements per operation).  As in the paper,
+vectorization only triggers once speculative guard motion has moved the
+bounds-check guards out of the loop — a body that still contains guards
+is rejected, which reproduces the GM↔LV dependence ("by disabling
+speculative guard motion, loop vectorization almost never triggers").
+
+Supported shapes: element-wise maps (``c[i] = f(a[i], b[i])``) and
+additive/multiplicative reductions (``s = s + a[i] * b[i]``).
+"""
+
+from __future__ import annotations
+
+from repro.jit.ir import Graph, Node
+from repro.jit.loops import Loop, find_loops
+from repro.jit.phases.guard_motion import find_inductions, loop_limit
+
+_VECTOR_PURE = frozenset({
+    "add", "sub", "mul", "div", "neg", "and", "or", "xor", "shl", "shr",
+    "i2d", "d2i", "cmp", "cmpz", "const",
+})
+
+
+def run(graph: Graph, config, stats) -> None:
+    processed = 0
+    vectorized = 0
+    for loop in find_loops(graph):
+        processed += sum(len(loop._block_map[b].nodes)
+                         for b in loop.blocks if b in loop._block_map)
+        if _try_vectorize(graph, loop):
+            vectorized += 1
+    stats.phase("vectorize", processed * 2 + vectorized * 40)
+
+
+def _try_vectorize(graph: Graph, loop: Loop) -> bool:
+    # Shape: header (condition only) + one body block, or a single block.
+    blocks = [loop._block_map[b] for b in loop.blocks
+              if loop._block_map.get(b) in graph.blocks]
+    if len(blocks) > 2:
+        return False
+    inductions = find_inductions(loop)
+    if not inductions:
+        return False
+    if loop_limit(loop, inductions) is None:
+        return False
+    header = loop.header
+    body_blocks = [b for b in blocks if b is not header]
+    body = body_blocks[0] if body_blocks else header
+
+    # Reduction φ-nodes are allowed: phi(init, phi OP x) for OP in {add,mul}.
+    induction_ids = set(inductions)
+    for phi in header.phis:
+        if phi.id in induction_ids:
+            continue
+        if not _is_reduction(phi):
+            return False
+
+    stored_arrays: dict[int, Node] = {}
+    loaded: list[Node] = []
+    for block in blocks:
+        for node in block.nodes:
+            if node.op in _VECTOR_PURE:
+                continue
+            if node.op == "aload":
+                arr, idx = node.inputs
+                if not _vector_index(idx, induction_ids, loop):
+                    return False
+                loaded.append(node)
+                continue
+            if node.op == "astore":
+                arr, idx, _value = node.inputs
+                if not _vector_index(idx, induction_ids, loop):
+                    return False
+                stored_arrays[arr.id] = idx
+                continue
+            # Guards (not hoisted => GM off), calls, atomics, monitors,
+            # allocations, field accesses: not vectorizable.
+            return False
+
+    # Alias discipline: an array that is stored to may only be loaded at
+    # the very same index expression.
+    for load in loaded:
+        arr, idx = load.inputs
+        if arr.id in stored_arrays and stored_arrays[arr.id] is not idx:
+            return False
+    if not loaded and not stored_arrays:
+        return False
+
+    from repro.jvm.costmodel import VECTOR_LANES
+    body.vector_factor = VECTOR_LANES
+    if body is not header:
+        header.vector_factor = VECTOR_LANES   # amortized loop control too
+    return True
+
+
+def _vector_index(idx: Node, induction_ids: set[int], loop: Loop) -> bool:
+    """Induction variable, optionally plus a loop-invariant offset."""
+    if idx.id in induction_ids:
+        return True
+    if idx.op != "add":
+        return False
+    a, b = idx.inputs
+    if a.id in induction_ids and _invariant(b, loop):
+        return True
+    return b.id in induction_ids and _invariant(a, loop)
+
+
+def _invariant(node: Node, loop: Loop) -> bool:
+    if node.op in ("const", "param"):
+        return True
+    return node.block is not None and node.block.id not in loop.blocks
+
+
+def _is_reduction(phi: Node) -> bool:
+    for back in phi.inputs[1:]:
+        if back.op not in ("add", "mul"):
+            return False
+        if phi not in back.inputs:
+            return False
+    return True

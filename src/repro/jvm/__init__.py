@@ -1,0 +1,33 @@
+"""The simulated JVM substrate.
+
+This package implements a deterministic miniature JVM: a typed stack
+bytecode (:mod:`repro.jvm.bytecode`), a class/method model
+(:mod:`repro.jvm.classfile`), an object heap with address assignment
+(:mod:`repro.jvm.heap`), a set-associative cache simulator
+(:mod:`repro.jvm.cache`), a cycle cost model (:mod:`repro.jvm.costmodel`),
+a deterministic green-thread scheduler with monitors, park/unpark and
+wait/notify (:mod:`repro.jvm.scheduler`), the bytecode interpreter
+(:mod:`repro.jvm.interpreter`) and native intrinsics
+(:mod:`repro.jvm.intrinsics`).
+
+The substrate replaces HotSpot in the Renaissance reproduction: every
+concurrency primitive the paper's metrics count (Table 2) is an explicit
+bytecode here, so dynamic rates are exact rather than sampled.
+"""
+
+from repro.jvm.bytecode import Instr, Op
+from repro.jvm.classfile import JClass, JField, JMethod
+from repro.jvm.heap import Heap, JArray, JObject
+from repro.jvm.counters import Counters
+
+__all__ = [
+    "Instr",
+    "Op",
+    "JClass",
+    "JField",
+    "JMethod",
+    "Heap",
+    "JArray",
+    "JObject",
+    "Counters",
+]

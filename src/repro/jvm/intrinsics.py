@@ -1,0 +1,279 @@
+"""Native methods of the simulated JVM.
+
+Guest methods declared ``native`` dispatch to the Python functions
+registered here.  Intrinsics cover what the JDK provides to the
+Renaissance workloads: console output, math, string operations, array
+copies, and the threading entry points (``Thread.start``/``join``).
+
+An intrinsic receives ``(vm, thread, args)`` and returns the guest result
+or :data:`VOID`.  Blocking intrinsics (``join``) set the thread state via
+the scheduler and return :data:`VOID`; the caller's pc has already been
+advanced, so the thread resumes after the call site.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import GuestNullPointerError, VMError
+
+VOID = object()
+
+# Flat cycle cost charged for a native call, on top of the invoke cost.
+NATIVE_BASE_COST = 10
+
+
+def _charge(vm, thread, cycles: int) -> None:
+    thread.budget -= cycles
+    vm.counters.reference_cycles += cycles
+
+
+# ----------------------------------------------------------------------
+# Console / misc.
+# ----------------------------------------------------------------------
+
+def sys_print(vm, thread, args):
+    vm.stdout.append(str(args[0]))
+    return VOID
+
+
+def sys_println(vm, thread, args):
+    vm.stdout.append(str(args[0]) + "\n")
+    return VOID
+
+
+def sys_identity_hash(vm, thread, args):
+    obj = args[0]
+    if obj is None:
+        return 0
+    return obj.addr & 0x7FFFFFFF
+
+
+def sys_cores(vm, thread, args):
+    return vm.scheduler.cores
+
+
+# ----------------------------------------------------------------------
+# Math (guest doubles are Python floats, guest ints Python ints).
+# ----------------------------------------------------------------------
+
+def math_sqrt(vm, thread, args):
+    _charge(vm, thread, 15)
+    return math.sqrt(args[0])
+
+
+def math_exp(vm, thread, args):
+    _charge(vm, thread, 20)
+    return math.exp(min(args[0], 700.0))
+
+
+def math_log(vm, thread, args):
+    _charge(vm, thread, 20)
+    value = args[0]
+    return math.log(value) if value > 0 else float("-inf")
+
+
+def math_pow(vm, thread, args):
+    _charge(vm, thread, 25)
+    return float(args[0]) ** float(args[1])
+
+
+def math_sin(vm, thread, args):
+    _charge(vm, thread, 20)
+    return math.sin(args[0])
+
+
+def math_cos(vm, thread, args):
+    _charge(vm, thread, 20)
+    return math.cos(args[0])
+
+
+def math_floor(vm, thread, args):
+    return math.floor(args[0])
+
+
+# ----------------------------------------------------------------------
+# Strings (guest String is a Python str).
+# ----------------------------------------------------------------------
+
+def str_len(vm, thread, args):
+    return len(args[0])
+
+
+def str_char_at(vm, thread, args):
+    s, i = args
+    if not 0 <= i < len(s):
+        raise GuestNullPointerError(f"charAt({i}) on length {len(s)}")
+    return ord(s[i])
+
+
+def str_sub(vm, thread, args):
+    s, lo, hi = args
+    _charge(vm, thread, max(0, hi - lo) // 4)
+    return s[lo:hi]
+
+
+def str_index_of(vm, thread, args):
+    s, needle = args
+    _charge(vm, thread, len(s) // 4)
+    return s.find(needle)
+
+
+def str_from_char(vm, thread, args):
+    return chr(args[0])
+
+
+def str_of_int(vm, thread, args):
+    return str(args[0])
+
+
+def str_hash(vm, thread, args):
+    """Deterministic polynomial hash, as java.lang.String.hashCode."""
+    s = args[0]
+    _charge(vm, thread, len(s))
+    h = 0
+    for ch in s:
+        h = (31 * h + ord(ch)) & 0xFFFFFFFF
+    return h
+
+
+def str_cmp(vm, thread, args):
+    a, b = args
+    _charge(vm, thread, min(len(a), len(b)) // 4)
+    return -1 if a < b else (1 if a > b else 0)
+
+
+def str_upper(vm, thread, args):
+    _charge(vm, thread, len(args[0]) // 4)
+    return args[0].upper()
+
+
+def str_lower(vm, thread, args):
+    _charge(vm, thread, len(args[0]) // 4)
+    return args[0].lower()
+
+
+def str_parse_int(vm, thread, args):
+    return int(args[0])
+
+
+# ----------------------------------------------------------------------
+# Arrays.
+# ----------------------------------------------------------------------
+
+def arrays_copy(vm, thread, args):
+    src, src_pos, dst, dst_pos, n = args
+    if src is None or dst is None:
+        raise GuestNullPointerError("arraycopy")
+    src.check(src_pos)
+    dst.check(dst_pos)
+    if n:
+        src.check(src_pos + n - 1)
+        dst.check(dst_pos + n - 1)
+    _charge(vm, thread, max(1, n // 4))
+    dst.data[dst_pos:dst_pos + n] = src.data[src_pos:src_pos + n]
+    return VOID
+
+
+# ----------------------------------------------------------------------
+# Threads.
+# ----------------------------------------------------------------------
+
+def thread_start(vm, thread, args):
+    this = args[0]
+    target = this.get("target")
+    if target is None:
+        raise GuestNullPointerError("Thread with no target")
+    daemon = bool(this.get("daemon"))
+    name = this.get("name") or f"thread-{this.addr:x}"
+    _charge(vm, thread, 200)   # thread creation is expensive
+    vm.spawn_guest_thread(this, target, name=name, daemon=daemon)
+    return VOID
+
+
+def thread_join(vm, thread, args):
+    this = args[0]
+    target = this.meta
+    if target is None:
+        return VOID            # never started: join returns immediately
+    vm.scheduler.join(thread, target)
+    return VOID
+
+
+def thread_yield(vm, thread, args):
+    # Exhaust the budget so the scheduler rotates to another thread.
+    thread.budget = 0
+    return VOID
+
+
+def thread_is_alive(vm, thread, args):
+    target = args[0].meta
+    return 1 if target is not None and target.alive else 0
+
+
+def thread_current(vm, thread, args):
+    """Guest Thread object of the running thread (created lazily for the
+    main thread, which was not started through guest code)."""
+    if thread.thread_obj is None:
+        obj = vm.heap.new_object(vm.resolve_class("Thread"))
+        obj.put("name", thread.name)
+        obj.meta = thread
+        thread.thread_obj = obj
+    return thread.thread_obj
+
+
+def sys_hash_of(vm, thread, args):
+    """Dynamic hash: content hash for ints/strings, identity for objects."""
+    value = args[0]
+    if value is None:
+        return 0
+    if isinstance(value, int):
+        return value & 0x7FFFFFFF
+    if isinstance(value, float):
+        return int(value) & 0x7FFFFFFF
+    if isinstance(value, str):
+        h = 0
+        for ch in value:
+            h = (31 * h + ord(ch)) & 0xFFFFFFFF
+        return h & 0x7FFFFFFF
+    return value.addr & 0x7FFFFFFF
+
+
+DEFAULT_INTRINSICS = {
+    ("Sys", "print"): sys_print,
+    ("Sys", "println"): sys_println,
+    ("Sys", "identityHash"): sys_identity_hash,
+    ("Sys", "cores"): sys_cores,
+    ("Math", "sqrt"): math_sqrt,
+    ("Math", "exp"): math_exp,
+    ("Math", "log"): math_log,
+    ("Math", "pow"): math_pow,
+    ("Math", "sin"): math_sin,
+    ("Math", "cos"): math_cos,
+    ("Math", "floor"): math_floor,
+    ("Str", "len"): str_len,
+    ("Str", "charAt"): str_char_at,
+    ("Str", "sub"): str_sub,
+    ("Str", "indexOf"): str_index_of,
+    ("Str", "fromChar"): str_from_char,
+    ("Str", "ofInt"): str_of_int,
+    ("Str", "hash"): str_hash,
+    ("Str", "cmp"): str_cmp,
+    ("Str", "upper"): str_upper,
+    ("Str", "lower"): str_lower,
+    ("Str", "parseInt"): str_parse_int,
+    ("Arrays", "copy"): arrays_copy,
+    ("Thread", "start"): thread_start,
+    ("Thread", "join"): thread_join,
+    ("Thread", "yieldNow"): thread_yield,
+    ("Thread", "isAlive"): thread_is_alive,
+    ("Thread", "current"): thread_current,
+    ("Sys", "hashOf"): sys_hash_of,
+}
+
+
+def lookup(owner: str, name: str):
+    try:
+        return DEFAULT_INTRINSICS[(owner, name)]
+    except KeyError:
+        raise VMError(f"no intrinsic for native method {owner}.{name}") from None

@@ -1,0 +1,303 @@
+"""Deterministic green-thread scheduler with JVM-style synchronization.
+
+The scheduler replaces OS threads in the reproduction.  Guest threads run
+cooperatively on ``cores`` simulated cores in fixed cycle quanta; the
+interleaving is a deterministic function of the schedule seed, which is
+what makes every experiment reproducible while still exhibiting
+contention (failed CAS operations, blocked monitor entries, wait/notify
+hand-offs).
+
+Time model
+----------
+Per scheduling *slice*, up to ``cores`` runnable threads each execute up
+to ``quantum`` cycles of guest work.  The global clock advances by the
+maximum cycles any selected thread consumed (the cores run in parallel).
+Thus:
+
+- **wall time** (benchmark "execution time" in all experiments) is
+  :attr:`Scheduler.clock`,
+- **reference cycles** (the normalization basis of Section 3.2) is the
+  total guest work accumulated in the VM counters, and
+- **CPU utilization** is work / (cores × wall time), matching the
+  paper's ``cpu`` metric.
+
+Synchronization mirrors the JVM: per-object monitors with FIFO entry
+queues and wait sets (``wait``/``notify``/``notifyAll``), thread
+park/unpark with a single permit, and thread join.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.errors import DeadlockError, VMError
+
+# Thread states.
+RUNNABLE = "runnable"
+BLOCKED = "blocked"        # queued on a monitor entry queue
+WAITING = "waiting"        # in a monitor wait set
+PARKED = "parked"
+JOINING = "joining"
+TERMINATED = "terminated"
+
+
+class Monitor:
+    """A per-object monitor (lock + condition), as in the JVM."""
+
+    __slots__ = ("owner", "recursion", "entry_queue", "wait_set")
+
+    def __init__(self) -> None:
+        self.owner: JThread | None = None
+        self.recursion = 0
+        # entry_queue holds (thread, resume_recursion) pairs:
+        # resume_recursion is 0 for a plain monitorenter retry and the
+        # saved recursion depth for a notified waiter.
+        self.entry_queue: deque = deque()
+        self.wait_set: deque = deque()
+
+
+class JThread:
+    """A guest thread: a stack of frames plus scheduling state."""
+
+    _next_id = 1
+
+    __slots__ = (
+        "tid", "name", "frames", "state", "daemon", "park_permit",
+        "core", "budget", "joiners", "thread_obj", "result",
+        "fault", "blocked_on",
+    )
+
+    def __init__(self, name: str, *, daemon: bool = False) -> None:
+        self.tid = JThread._next_id
+        JThread._next_id += 1
+        self.name = name
+        self.frames: list = []
+        self.state = RUNNABLE
+        self.daemon = daemon
+        self.park_permit = False
+        self.core = 0
+        self.budget = 0
+        self.joiners: list[JThread] = []
+        self.thread_obj = None     # guest-side Thread object, if any
+        self.result = None
+        self.fault = None          # host exception that killed the thread
+        self.blocked_on: Monitor | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.state != TERMINATED
+
+    def __repr__(self) -> str:
+        return f"<JThread {self.tid} {self.name!r} {self.state}>"
+
+
+class Scheduler:
+    """Round-robin multi-core scheduler over green threads."""
+
+    def __init__(self, cores: int = 8, quantum: int = 5000, seed: int = 0) -> None:
+        if cores < 1:
+            raise VMError("need at least one core")
+        self.cores = cores
+        self.quantum = quantum
+        self.rng = random.Random(seed)
+        self.clock = 0
+        self.slices = 0
+        self.busy_core_slices = 0.0
+        self.threads: list[JThread] = []
+        self.runnable: deque[JThread] = deque()
+        self.executor = None       # set by the VM: callable(thread) -> cycles used
+        # Every `perturb_period` slices, deterministically rotate the run
+        # queue; different seeds yield different interleavings, which is
+        # the source of run-to-run variance for the statistical tests.
+        self.perturb_period = 7
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle.
+    # ------------------------------------------------------------------
+    def spawn(self, thread: JThread) -> JThread:
+        self.threads.append(thread)
+        self.runnable.append(thread)
+        return thread
+
+    def terminate(self, thread: JThread) -> None:
+        thread.state = TERMINATED
+        thread.frames.clear()
+        for joiner in thread.joiners:
+            if joiner.state == JOINING:
+                self._make_runnable(joiner)
+        thread.joiners.clear()
+
+    def join(self, current: JThread, target: JThread) -> bool:
+        """Returns True if ``current`` must block until ``target`` ends."""
+        if target.state == TERMINATED:
+            return False
+        target.joiners.append(current)
+        current.state = JOINING
+        return True
+
+    def _make_runnable(self, thread: JThread) -> None:
+        if thread.state == TERMINATED:
+            return
+        thread.state = RUNNABLE
+        thread.blocked_on = None
+        self.runnable.append(thread)
+
+    # ------------------------------------------------------------------
+    # Monitors.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def monitor_of(obj) -> Monitor:
+        if obj.monitor is None:
+            obj.monitor = Monitor()
+        return obj.monitor
+
+    def monitor_enter(self, thread: JThread, obj) -> bool:
+        """Try to acquire; returns True on success, False if blocked."""
+        mon = self.monitor_of(obj)
+        if mon.owner is None:
+            mon.owner = thread
+            mon.recursion = 1
+            return True
+        if mon.owner is thread:
+            mon.recursion += 1
+            return True
+        mon.entry_queue.append((thread, 0))
+        thread.state = BLOCKED
+        thread.blocked_on = mon
+        return False
+
+    def monitor_exit(self, thread: JThread, obj) -> None:
+        mon = self.monitor_of(obj)
+        if mon.owner is not thread:
+            raise VMError(f"{thread} released monitor it does not own")
+        mon.recursion -= 1
+        if mon.recursion == 0:
+            self._release(mon)
+
+    def _release(self, mon: Monitor) -> None:
+        if mon.entry_queue:
+            next_thread, resume_recursion = mon.entry_queue.popleft()
+            mon.owner = next_thread
+            # 0 => the thread re-executes MONITORENTER and bumps to 1;
+            # >0 => a notified waiter resumes with its saved depth.
+            mon.recursion = resume_recursion
+            self._make_runnable(next_thread)
+        else:
+            mon.owner = None
+            mon.recursion = 0
+
+    def monitor_wait(self, thread: JThread, obj) -> None:
+        """Object.wait(): release fully and join the wait set.
+
+        The caller must advance the pc *before* invoking this, so the
+        thread resumes after the wait once notified and re-granted.
+        """
+        mon = self.monitor_of(obj)
+        if mon.owner is not thread:
+            raise VMError("wait() without owning the monitor")
+        saved = mon.recursion
+        mon.recursion = 0
+        mon.wait_set.append((thread, saved))
+        thread.state = WAITING
+        thread.blocked_on = mon
+        self._release(mon)
+
+    def monitor_notify(self, thread: JThread, obj, *, all_waiters: bool) -> None:
+        mon = self.monitor_of(obj)
+        if mon.owner is not thread:
+            raise VMError("notify() without owning the monitor")
+        moved = 0
+        while mon.wait_set and (all_waiters or moved == 0):
+            waiter, saved = mon.wait_set.popleft()
+            waiter.state = BLOCKED
+            mon.entry_queue.append((waiter, saved))
+            moved += 1
+
+    # ------------------------------------------------------------------
+    # Park / unpark.
+    # ------------------------------------------------------------------
+    def park(self, thread: JThread) -> bool:
+        """Returns True if the thread actually parked (no pending permit)."""
+        if thread.park_permit:
+            thread.park_permit = False
+            return False
+        thread.state = PARKED
+        return True
+
+    def unpark(self, thread: JThread) -> None:
+        if thread.state == PARKED:
+            self._make_runnable(thread)
+        else:
+            thread.park_permit = True
+
+    # ------------------------------------------------------------------
+    # The run loop.
+    # ------------------------------------------------------------------
+    def _live_nondaemon(self) -> bool:
+        return any(t.alive and not t.daemon for t in self.threads)
+
+    def run(self, max_cycles: int | None = None) -> None:
+        """Run until all non-daemon threads terminate.
+
+        Raises :class:`DeadlockError` if live non-daemon threads exist but
+        none is runnable (there are no timeouts in the model, so this is a
+        true deadlock).
+        """
+        if self.executor is None:
+            raise VMError("scheduler has no executor")
+        while self._live_nondaemon():
+            if max_cycles is not None and self.clock >= max_cycles:
+                return
+            if not self.runnable:
+                stuck = [t for t in self.threads if t.alive and not t.daemon]
+                raise DeadlockError(
+                    "no runnable threads; stuck: "
+                    + ", ".join(f"{t.name}({t.state})" for t in stuck)
+                )
+            self._run_slice()
+
+    def _run_slice(self) -> None:
+        self.slices += 1
+        if self.perturb_period and self.slices % self.perturb_period == 0:
+            self._perturb()
+        selected: list[JThread] = []
+        while self.runnable and len(selected) < self.cores:
+            selected.append(self.runnable.popleft())
+        max_used = 1
+        for core, thread in enumerate(selected):
+            thread.core = core
+            try:
+                used = self.executor(thread)
+            except Exception as exc:
+                # A guest fault kills its thread (like an uncaught Java
+                # exception); without this the VM would deadlock on the
+                # zombie. Re-queue the other selected threads first.
+                thread.fault = exc
+                self.terminate(thread)
+                for other in selected:
+                    if other is not thread and other.state == RUNNABLE \
+                            and other.frames:
+                        self.runnable.append(other)
+                raise
+            if used > max_used:
+                max_used = used
+            self.busy_core_slices += used
+        for thread in selected:
+            if thread.state == RUNNABLE and thread.frames:
+                self.runnable.append(thread)
+            elif thread.state == RUNNABLE and not thread.frames:
+                self.terminate(thread)
+        self.clock += max_used
+        # busy_core_slices accumulates raw cycles; normalize on read.
+
+    def _perturb(self) -> None:
+        """Deterministically rotate the run queue (seed-dependent)."""
+        if len(self.runnable) > 1:
+            self.runnable.rotate(self.rng.randrange(len(self.runnable)))
+
+    def cpu_utilization(self) -> float:
+        """Average fraction of cores doing guest work, in [0, 1]."""
+        if self.clock == 0:
+            return 0.0
+        return min(1.0, self.busy_core_slices / (self.cores * self.clock))

@@ -1,0 +1,21 @@
+"""The guest-language front-end ("JL" — JVM-lite language).
+
+The Renaissance workloads are Java/Scala programs; their reproduction
+counterparts are written in JL, a small dynamically-checked class-based
+language that compiles to the simulated JVM's bytecode.  JL has exactly
+the surface the paper's optimizations need: classes with single
+inheritance and interfaces, first-class lambdas (compiled to
+``invokedynamic`` + method-handle calls), ``synchronized`` blocks and
+methods, CAS/park/wait/notify intrinsics, and typed arrays.
+
+Public API::
+
+    from repro.lang import compile_program
+    program = compile_program(source, include_stdlib=True)
+"""
+
+from repro.lang.codegen import Program, compile_program
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+
+__all__ = ["compile_program", "Program", "tokenize", "parse"]

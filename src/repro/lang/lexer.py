@@ -1,0 +1,164 @@
+"""Lexer for the JL guest language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset({
+    "class", "interface", "extends", "implements", "var", "static", "def",
+    "native", "synchronized", "if", "else", "while", "for", "return",
+    "break", "continue", "new", "null", "this", "true", "false", "fun",
+    "instanceof",
+})
+
+# Multi-char operators first (longest match wins).
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";", ".", ":",
+)
+
+
+@dataclass
+class Token:
+    """One lexical token; ``kind`` is 'ident', 'kw', 'int', 'float',
+    'str', 'op' or 'eof'."""
+
+    kind: str
+    value: object
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "\\": "\\", '"': '"', "'": "'", "0": "\0"}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_line, start_col = line, col
+            is_float = False
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                if source[i] == ".":
+                    if is_float:
+                        break
+                    # ".5" method call vs float: a digit must follow.
+                    if i + 1 >= n or not source[i + 1].isdigit():
+                        break
+                    is_float = True
+                advance(1)
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    is_float = True
+                    advance(j - i)
+                    while i < n and source[i].isdigit():
+                        advance(1)
+            text = source[start:i]
+            value = float(text) if is_float else int(text)
+            tokens.append(Token("float" if is_float else "int", value,
+                                start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            word = source[start:i]
+            kind = "kw" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, start_line, start_col))
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            advance(1)
+            out = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\":
+                    if i + 1 >= n:
+                        raise LexError("bad escape", line, col)
+                    esc = source[i + 1]
+                    if esc not in _ESCAPES:
+                        raise LexError(f"bad escape \\{esc}", line, col)
+                    out.append(_ESCAPES[esc])
+                    advance(2)
+                else:
+                    if source[i] == "\n":
+                        raise LexError("newline in string", line, col)
+                    out.append(source[i])
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string", start_line, start_col)
+            advance(1)
+            tokens.append(Token("str", "".join(out), start_line, start_col))
+            continue
+        if ch == "'":
+            start_line, start_col = line, col
+            advance(1)
+            if i < n and source[i] == "\\":
+                if i + 1 >= n or source[i + 1] not in _ESCAPES:
+                    raise LexError("bad char escape", line, col)
+                value = ord(_ESCAPES[source[i + 1]])
+                advance(2)
+            elif i < n:
+                value = ord(source[i])
+                advance(1)
+            else:
+                raise LexError("unterminated char literal", start_line, start_col)
+            if i >= n or source[i] != "'":
+                raise LexError("unterminated char literal", start_line, start_col)
+            advance(1)
+            tokens.append(Token("int", value, start_line, start_col))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("eof", None, line, col))
+    return tokens

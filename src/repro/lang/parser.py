@@ -1,0 +1,430 @@
+"""Recursive-descent parser for the JL guest language.
+
+Grammar sketch (see tests/lang for executable examples)::
+
+    program     := (classdecl | interfacedecl)*
+    classdecl   := 'class' IDENT ('extends' IDENT)?
+                   ('implements' IDENT (',' IDENT)*)? '{' member* '}'
+    member      := ('static')? 'var' IDENT ('=' expr)? ';'
+                 | ('static' | 'native' | 'synchronized')* 'def' IDENT
+                   '(' params ')' (block | ';')
+    stmt        := 'var' IDENT '=' expr ';'
+                 | 'if' '(' expr ')' block ('else' (block | ifstmt))?
+                 | 'while' '(' expr ')' block
+                 | 'for' '(' simple? ';' expr? ';' simple? ')' block
+                 | 'synchronized' '(' expr ')' block
+                 | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+                 | simple ';'
+    simple      := target ('=' | '+=' | ...) expr | expr
+    expr        := precedence-climbing over || && | ^ & == != < <= > >=
+                   << >> + - * / % with unary - ! ~ and postfix
+                   .name, .name(args), [index], (args), instanceof
+    primary     := literal | 'this' | 'null' | 'true' | 'false' | IDENT
+                 | '(' expr ')' | 'new' ...
+                 | 'fun' '(' params ')' (block | expr)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as A
+from repro.lang.lexer import Token, tokenize
+
+BUILTINS = frozenset({
+    "cas", "atomicGet", "atomicAdd", "park", "unpark",
+    "wait", "notify", "notifyAll", "len", "cast", "i2d", "d2i",
+})
+
+_BUILTIN_ARITY = {
+    "cas": 3, "atomicGet": 1, "atomicAdd": 2, "park": 0, "unpark": 1,
+    "wait": 1, "notify": 1, "notifyAll": 1, "len": 1, "cast": 2,
+    "i2d": 1, "d2i": 1,
+}
+
+_ARRAY_KINDS = frozenset({"int", "double", "ref"})
+
+_COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+# Binary precedence, low to high.  ('&&', '||') handled separately for
+# short-circuiting.
+_PRECEDENCE = [
+    ("|",), ("^",), ("&",),
+    ("==", "!="), ("<", "<=", ">", ">="),
+    ("<<", ">>"), ("+", "-"), ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers.
+    # ------------------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def error(self, message: str) -> ParseError:
+        tok = self.cur
+        return ParseError(f"{message} (got {tok.kind} {tok.value!r})",
+                          tok.line, tok.col)
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, value: object = None) -> bool:
+        tok = self.cur
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def accept(self, kind: str, value: object = None) -> Token | None:
+        if self.at(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            want = value if value is not None else kind
+            raise self.error(f"expected {want!r}")
+        return tok
+
+    def expect_ident(self) -> str:
+        return self.expect("ident").value
+
+    # ------------------------------------------------------------------
+    # Declarations.
+    # ------------------------------------------------------------------
+    def parse_program(self) -> list[A.ClassDecl]:
+        decls = []
+        while not self.at("eof"):
+            decls.append(self.parse_class())
+        return decls
+
+    def parse_class(self) -> A.ClassDecl:
+        line = self.cur.line
+        is_interface = bool(self.accept("kw", "interface"))
+        if not is_interface:
+            self.expect("kw", "class")
+        name = self.expect_ident()
+        super_name = "Object"
+        interfaces: list[str] = []
+        if self.accept("kw", "extends"):
+            super_name = self.expect_ident()
+        if self.accept("kw", "implements"):
+            interfaces.append(self.expect_ident())
+            while self.accept("op", ","):
+                interfaces.append(self.expect_ident())
+        self.expect("op", "{")
+        fields: list[A.FieldDecl] = []
+        methods: list[A.MethodDecl] = []
+        while not self.accept("op", "}"):
+            self.parse_member(fields, methods, is_interface)
+        return A.ClassDecl(name, super_name, interfaces, is_interface,
+                           fields, methods, line)
+
+    def parse_member(self, fields, methods, is_interface: bool) -> None:
+        line = self.cur.line
+        static = native = synchronized = False
+        while True:
+            if self.accept("kw", "static"):
+                static = True
+            elif self.accept("kw", "native"):
+                native = True
+            elif self.accept("kw", "synchronized"):
+                synchronized = True
+            else:
+                break
+        if self.accept("kw", "var"):
+            name = self.expect_ident()
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_expr()
+            self.expect("op", ";")
+            if init is not None and not static:
+                raise ParseError(
+                    "instance-field initializers are not supported; "
+                    "initialize in the constructor", line, 0)
+            fields.append(A.FieldDecl(name, static, init, line))
+            return
+        self.expect("kw", "def")
+        name = self.expect_ident()
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.at("op", ")"):
+            params.append(self.expect_ident())
+            while self.accept("op", ","):
+                params.append(self.expect_ident())
+        self.expect("op", ")")
+        if native or is_interface:
+            self.expect("op", ";")
+            body = None
+        else:
+            body = self.parse_block()
+        end_line = self.tokens[self.pos - 1].line
+        methods.append(A.MethodDecl(name, params, body, static, native,
+                                    synchronized, line, end_line))
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def parse_block(self) -> list[A.Stmt]:
+        self.expect("op", "{")
+        stmts: list[A.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> A.Stmt:
+        line = self.cur.line
+        if self.at("kw", "var"):
+            self.advance()
+            name = self.expect_ident()
+            self.expect("op", "=")
+            init = self.parse_expr()
+            self.expect("op", ";")
+            return A.VarDecl(name, init, line)
+        if self.at("kw", "if"):
+            return self.parse_if()
+        if self.at("kw", "while"):
+            self.advance()
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            body = self.parse_block()
+            return A.While(cond, body, line)
+        if self.at("kw", "for"):
+            return self.parse_for()
+        if self.at("kw", "synchronized"):
+            self.advance()
+            self.expect("op", "(")
+            lock = self.parse_expr()
+            self.expect("op", ")")
+            body = self.parse_block()
+            return A.Synchronized(lock, body, line)
+        if self.accept("kw", "return"):
+            value = None
+            if not self.at("op", ";"):
+                value = self.parse_expr()
+            self.expect("op", ";")
+            return A.Return(value, line)
+        if self.accept("kw", "break"):
+            self.expect("op", ";")
+            return A.Break(line)
+        if self.accept("kw", "continue"):
+            self.expect("op", ";")
+            return A.Continue(line)
+        stmt = self.parse_simple()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_if(self) -> A.If:
+        line = self.cur.line
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: list[A.Stmt] = []
+        if self.accept("kw", "else"):
+            if self.at("kw", "if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return A.If(cond, then_body, else_body, line)
+
+    def parse_for(self) -> A.For:
+        line = self.cur.line
+        self.expect("kw", "for")
+        self.expect("op", "(")
+        init: A.Stmt | None = None
+        if not self.at("op", ";"):
+            if self.accept("kw", "var"):
+                name = self.expect_ident()
+                self.expect("op", "=")
+                init = A.VarDecl(name, self.parse_expr(), line)
+            else:
+                init = self.parse_simple()
+        self.expect("op", ";")
+        cond = None
+        if not self.at("op", ";"):
+            cond = self.parse_expr()
+        self.expect("op", ";")
+        step: A.Stmt | None = None
+        if not self.at("op", ")"):
+            step = self.parse_simple()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return A.For(init, cond, step, body, line)
+
+    def parse_simple(self) -> A.Stmt:
+        """An assignment or a bare expression (no trailing semicolon)."""
+        line = self.cur.line
+        expr = self.parse_expr()
+        if self.at("op", "="):
+            self.advance()
+            value = self.parse_expr()
+            self._check_target(expr)
+            return A.Assign(expr, value, line)
+        for compound, base_op in _COMPOUND_OPS.items():
+            if self.at("op", compound):
+                self.advance()
+                value = self.parse_expr()
+                self._check_target(expr)
+                return A.Assign(expr, A.Binary(base_op, expr, value, line), line)
+        return A.ExprStmt(expr, line)
+
+    def _check_target(self, expr: A.Expr) -> None:
+        if not isinstance(expr, (A.Name, A.FieldAccess, A.StaticAccess, A.Index)):
+            raise self.error("invalid assignment target")
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> A.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> A.Expr:
+        lhs = self._parse_and()
+        while self.at("op", "||"):
+            line = self.advance().line
+            rhs = self._parse_and()
+            lhs = A.ShortCircuit("||", lhs, rhs, line)
+        return lhs
+
+    def _parse_and(self) -> A.Expr:
+        lhs = self._parse_binary(0)
+        while self.at("op", "&&"):
+            line = self.advance().line
+            rhs = self._parse_binary(0)
+            lhs = A.ShortCircuit("&&", lhs, rhs, line)
+        return lhs
+
+    def _parse_binary(self, level: int) -> A.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        ops = _PRECEDENCE[level]
+        lhs = self._parse_binary(level + 1)
+        while True:
+            if self.at("kw", "instanceof") and level == 4:
+                line = self.advance().line
+                lhs = A.InstanceOf(lhs, self.expect_ident(), line)
+                continue
+            tok = self.cur
+            if tok.kind == "op" and tok.value in ops:
+                self.advance()
+                rhs = self._parse_binary(level + 1)
+                lhs = A.Binary(tok.value, lhs, rhs, tok.line)
+            else:
+                return lhs
+
+    def _parse_unary(self) -> A.Expr:
+        tok = self.cur
+        if tok.kind == "op" and tok.value in ("-", "!", "~"):
+            self.advance()
+            return A.Unary(tok.value, self._parse_unary(), tok.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.accept("op", "."):
+                name = self.expect_ident()
+                if self.at("op", "("):
+                    args = self._parse_args()
+                    expr = A.Call(A.FieldAccess(expr, name, self.cur.line),
+                                  args, self.cur.line)
+                else:
+                    expr = A.FieldAccess(expr, name, self.cur.line)
+            elif self.at("op", "["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = A.Index(expr, index, self.cur.line)
+            elif self.at("op", "("):
+                args = self._parse_args()
+                expr = A.Call(expr, args, self.cur.line)
+            else:
+                return expr
+
+    def _parse_args(self) -> list[A.Expr]:
+        self.expect("op", "(")
+        args: list[A.Expr] = []
+        if not self.at("op", ")"):
+            args.append(self.parse_expr())
+            while self.accept("op", ","):
+                args.append(self.parse_expr())
+        self.expect("op", ")")
+        return args
+
+    def _parse_primary(self) -> A.Expr:
+        tok = self.cur
+        if tok.kind in ("int", "float", "str"):
+            self.advance()
+            return A.Literal(tok.value, tok.line)
+        if tok.kind == "kw":
+            if tok.value == "null":
+                self.advance()
+                return A.Literal(None, tok.line)
+            if tok.value == "true":
+                self.advance()
+                return A.Literal(1, tok.line)
+            if tok.value == "false":
+                self.advance()
+                return A.Literal(0, tok.line)
+            if tok.value == "this":
+                self.advance()
+                return A.This(tok.line)
+            if tok.value == "new":
+                return self._parse_new()
+            if tok.value == "fun":
+                return self._parse_lambda()
+            raise self.error("unexpected keyword in expression")
+        if tok.kind == "ident":
+            self.advance()
+            return A.Name(tok.value, tok.line)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise self.error("expected expression")
+
+    def _parse_new(self) -> A.Expr:
+        line = self.expect("kw", "new").line
+        name = self.expect_ident()
+        if name in _ARRAY_KINDS and self.at("op", "["):
+            self.advance()
+            length = self.parse_expr()
+            self.expect("op", "]")
+            return A.NewArray(name, length, line)
+        args = self._parse_args()
+        return A.New(name, args, line)
+
+    def _parse_lambda(self) -> A.Lambda:
+        line = self.expect("kw", "fun").line
+        self.expect("op", "(")
+        params: list[str] = []
+        if not self.at("op", ")"):
+            params.append(self.expect_ident())
+            while self.accept("op", ","):
+                params.append(self.expect_ident())
+        self.expect("op", ")")
+        if self.at("op", "{"):
+            body = self.parse_block()
+        else:
+            value = self.parse_expr()
+            body = [A.Return(value, line)]
+        return A.Lambda(params, body, line)
+
+
+def parse(source: str) -> list[A.ClassDecl]:
+    """Parse JL ``source`` into a list of class declarations."""
+    return Parser(tokenize(source)).parse_program()

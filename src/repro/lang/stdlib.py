@@ -1,0 +1,988 @@
+"""The guest standard library, written in JL.
+
+These classes are the reproduction's analogue of the JDK + framework
+layer the Renaissance workloads use.  They are deliberately written in
+the same bytecode-level idioms as their Java counterparts, because the
+paper's optimizations key on exactly those patterns:
+
+- :class:`Random` updates its seed with a CAS retry loop and
+  ``nextDouble`` performs **two consecutive CAS loops** — the
+  atomic-operation-coalescing (AC) target (paper Section 5.3),
+- :class:`Promise` completes through CAS and blocks through
+  park/unpark — the escape-analysis-with-atomics (EAWA) and ``park``
+  metric source (Section 5.1, Twitter Finagle's ``Promise``),
+- :class:`Vector` has synchronized accessors called from loops — the
+  loop-wide lock-coarsening (LLC) target (Section 5.2,
+  ``java.util.Vector``),
+- :class:`Stream` parameterizes operations with lambdas invoked through
+  method handles — the method-handle-simplification (MHS) target
+  (Section 5.4, Java Streams),
+- :class:`BlockingQueue` uses guarded blocks (wait/notify),
+  :class:`ConcurrentQueue` is a Michael–Scott lock-free queue, and
+  :class:`STM` is a versioned software-transactional-memory runtime
+  (ScalaSTM's role in ``philosophers``/``stm-bench7``).
+"""
+
+CORE = r"""
+// ---------------------------------------------------------------- threads
+class Thread {
+    var target;
+    var daemon;
+    var name;
+
+    def init(t) {
+        this.target = t;
+        this.daemon = false;
+        this.name = "thread";
+    }
+
+    native def start();
+    native def join();
+    native def yieldNow();
+    native def isAlive();
+    static native def current();
+}
+
+class CountDownLatch {
+    var count;
+
+    def init(n) { this.count = n; }
+
+    def countDown() {
+        synchronized (this) {
+            this.count = this.count - 1;
+            if (this.count <= 0) {
+                notifyAll(this);
+            }
+        }
+    }
+
+    def await() {
+        synchronized (this) {
+            while (this.count > 0) {
+                wait(this);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- atomics
+class AtomicLong {
+    var value;
+
+    def init(v) { this.value = v; }
+
+    def get() { return atomicGet(this.value); }
+    def set(v) { this.value = v; }
+    def getAndAdd(d) { return atomicAdd(this.value, d); }
+    def addAndGet(d) { return atomicAdd(this.value, d) + d; }
+    def incrementAndGet() { return atomicAdd(this.value, 1) + 1; }
+    def getAndIncrement() { return atomicAdd(this.value, 1); }
+    def compareAndSet(expect, update) { return cas(this.value, expect, update); }
+}
+
+class AtomicRef {
+    var value;
+
+    def init(v) { this.value = v; }
+
+    def get() { return atomicGet(this.value); }
+    def set(v) { this.value = v; }
+    def compareAndSet(expect, update) { return cas(this.value, expect, update); }
+
+    def getAndSet(v) {
+        while (true) {
+            var old = atomicGet(this.value);
+            if (cas(this.value, old, v)) {
+                return old;
+            }
+        }
+        return null;
+    }
+}
+
+// java.util.Random: CAS retry loop on the shared seed.  nextDouble
+// executes two consecutive CAS loops (the AC optimization target).
+class Random {
+    var seed;
+
+    def init(s) {
+        this.seed = (s ^ 25214903917) & 281474976710655;
+    }
+
+    def next(bits) {
+        var nextSeed = 0;
+        while (true) {
+            var s = atomicGet(this.seed);
+            nextSeed = (s * 25214903917 + 11) & 281474976710655;
+            if (cas(this.seed, s, nextSeed)) {
+                break;
+            }
+        }
+        return nextSeed >> (48 - bits);
+    }
+
+    def nextInt(bound) {
+        return this.next(31) % bound;
+    }
+
+    def nextDouble() {
+        var hi = this.next(26);
+        var lo = this.next(27);
+        return (hi * 134217728 + lo) / 9007199254740992.0;
+    }
+
+    def nextBool() {
+        return this.next(1);
+    }
+}
+
+// Non-thread-safe LCG (scimark's own Random class): plain field
+// updates, no atomics — used by the single-threaded comparison suites.
+class PlainRandom {
+    var seed;
+
+    def init(s) {
+        this.seed = (s ^ 25214903917) & 281474976710655;
+    }
+
+    def next(bits) {
+        var nextSeed = (this.seed * 25214903917 + 11) & 281474976710655;
+        this.seed = nextSeed;
+        return nextSeed >> (48 - bits);
+    }
+
+    def nextInt(bound) {
+        return this.next(31) % bound;
+    }
+
+    def nextDouble() {
+        var hi = this.next(26);
+        var lo = this.next(27);
+        return (hi * 134217728 + lo) / 9007199254740992.0;
+    }
+}
+"""
+
+COLLECTIONS = r"""
+// ------------------------------------------------------------ collections
+class ArrayList {
+    var data;
+    var count;
+
+    def init() {
+        this.data = new ref[8];
+        this.count = 0;
+    }
+
+    def add(x) {
+        if (this.count == len(this.data)) {
+            this.grow();
+        }
+        this.data[this.count] = x;
+        this.count = this.count + 1;
+    }
+
+    def grow() {
+        var bigger = new ref[len(this.data) * 2];
+        Arrays.copy(this.data, 0, bigger, 0, this.count);
+        this.data = bigger;
+    }
+
+    def get(i) { return this.data[i]; }
+    def set(i, x) { this.data[i] = x; }
+    def size() { return this.count; }
+    def isEmpty() { return this.count == 0; }
+
+    def removeLast() {
+        this.count = this.count - 1;
+        var x = this.data[this.count];
+        this.data[this.count] = null;
+        return x;
+    }
+
+    def toArray() {
+        var out = new ref[this.count];
+        Arrays.copy(this.data, 0, out, 0, this.count);
+        return out;
+    }
+}
+
+// java.util.Vector: every accessor is synchronized — the loop-wide
+// lock-coarsening (LLC) target when called from hot loops.
+class Vector {
+    var data;
+    var count;
+
+    def init() {
+        this.data = new ref[8];
+        this.count = 0;
+    }
+
+    synchronized def add(x) {
+        if (this.count == len(this.data)) {
+            var bigger = new ref[len(this.data) * 2];
+            Arrays.copy(this.data, 0, bigger, 0, this.count);
+            this.data = bigger;
+        }
+        this.data[this.count] = x;
+        this.count = this.count + 1;
+    }
+
+    synchronized def get(i) { return this.data[i]; }
+    synchronized def set(i, x) { this.data[i] = x; }
+    synchronized def size() { return this.count; }
+}
+
+class MapEntry {
+    var key;
+    var value;
+    var next;
+
+    def init(k, v, n) {
+        this.key = k;
+        this.value = v;
+        this.next = n;
+    }
+}
+
+// Chained hash map over int/string/ref keys (value equality for
+// ints and strings, identity for refs — like Java's default equals).
+class HashMap {
+    var buckets;
+    var count;
+
+    def init() {
+        this.buckets = new ref[16];
+        this.count = 0;
+    }
+
+    def indexFor(k) {
+        var h = Sys.hashOf(k);
+        return h % len(this.buckets);
+    }
+
+    def put(k, v) {
+        var i = this.indexFor(k);
+        var e = this.buckets[i];
+        while (e != null) {
+            if (e.key == k) {
+                e.value = v;
+                return false;
+            }
+            e = e.next;
+        }
+        this.buckets[i] = new MapEntry(k, v, this.buckets[i]);
+        this.count = this.count + 1;
+        if (this.count > len(this.buckets) * 3 / 4) {
+            this.resize();
+        }
+        return true;
+    }
+
+    def resize() {
+        var old = this.buckets;
+        this.buckets = new ref[len(old) * 2];
+        var i = 0;
+        while (i < len(old)) {
+            var e = old[i];
+            while (e != null) {
+                var nxt = e.next;
+                var j = this.indexFor(e.key);
+                e.next = this.buckets[j];
+                this.buckets[j] = e;
+                e = nxt;
+            }
+            i = i + 1;
+        }
+    }
+
+    def get(k) {
+        var e = this.buckets[this.indexFor(k)];
+        while (e != null) {
+            if (e.key == k) {
+                return e.value;
+            }
+            e = e.next;
+        }
+        return null;
+    }
+
+    def contains(k) {
+        var e = this.buckets[this.indexFor(k)];
+        while (e != null) {
+            if (e.key == k) {
+                return true;
+            }
+            e = e.next;
+        }
+        return false;
+    }
+
+    def size() { return this.count; }
+
+    def keys() {
+        var out = new ArrayList();
+        var i = 0;
+        while (i < len(this.buckets)) {
+            var e = this.buckets[i];
+            while (e != null) {
+                out.add(e.key);
+                e = e.next;
+            }
+            i = i + 1;
+        }
+        return out;
+    }
+
+    def entries() {
+        var out = new ArrayList();
+        var i = 0;
+        while (i < len(this.buckets)) {
+            var e = this.buckets[i];
+            while (e != null) {
+                out.add(e);
+                e = e.next;
+            }
+            i = i + 1;
+        }
+        return out;
+    }
+}
+"""
+
+CONCURRENT = r"""
+// --------------------------------------------------- concurrent queues
+class QNode {
+    var item;
+    var next;
+
+    def init(item) {
+        this.item = item;
+        this.next = null;
+    }
+}
+
+// Michael-Scott lock-free queue (java.util.concurrent.ConcurrentLinkedQueue).
+class ConcurrentQueue {
+    var head;
+    var tail;
+
+    def init() {
+        var sentinel = new QNode(null);
+        this.head = sentinel;
+        this.tail = sentinel;
+    }
+
+    def offer(x) {
+        var node = new QNode(x);
+        while (true) {
+            var t = atomicGet(this.tail);
+            var nxt = atomicGet(t.next);
+            if (nxt == null) {
+                if (cas(t.next, null, node)) {
+                    cas(this.tail, t, node);
+                    return true;
+                }
+            } else {
+                cas(this.tail, t, nxt);
+            }
+        }
+        return false;
+    }
+
+    def poll() {
+        while (true) {
+            var h = atomicGet(this.head);
+            var nxt = atomicGet(h.next);
+            if (nxt == null) {
+                return null;
+            }
+            if (cas(this.head, h, nxt)) {
+                var item = nxt.item;
+                nxt.item = null;
+                return item;
+            }
+        }
+        return null;
+    }
+
+    def isEmpty() {
+        var h = atomicGet(this.head);
+        return atomicGet(h.next) == null;
+    }
+}
+
+// Bounded blocking queue with guarded blocks (wait/notify), as
+// java.util.concurrent.ArrayBlockingQueue.
+class BlockingQueue {
+    var items;
+    var head;
+    var tail;
+    var count;
+
+    def init(capacity) {
+        this.items = new ref[capacity];
+        this.head = 0;
+        this.tail = 0;
+        this.count = 0;
+    }
+
+    def put(x) {
+        synchronized (this) {
+            while (this.count == len(this.items)) {
+                wait(this);
+            }
+            this.items[this.tail] = x;
+            this.tail = (this.tail + 1) % len(this.items);
+            this.count = this.count + 1;
+            notifyAll(this);
+        }
+    }
+
+    def take() {
+        var out = null;
+        synchronized (this) {
+            while (this.count == 0) {
+                wait(this);
+            }
+            out = this.items[this.head];
+            this.items[this.head] = null;
+            this.head = (this.head + 1) % len(this.items);
+            this.count = this.count - 1;
+            notifyAll(this);
+        }
+        return out;
+    }
+
+    def size() {
+        synchronized (this) {
+            return this.count;
+        }
+        return 0;
+    }
+}
+"""
+
+FUTURES = r"""
+// ------------------------------------------------------- futures / pools
+class WaiterNode {
+    var thread;      // a guest Thread to unpark, or null
+    var callback;    // a closure to run on completion, or null
+    var next;
+
+    def init(thread, callback, next) {
+        this.thread = thread;
+        this.callback = callback;
+        this.next = next;
+    }
+}
+
+// Twitter-Finagle-style Promise: CAS state transition, Treiber stack of
+// waiters, park/unpark blocking, and monadic combinators.
+class Promise {
+    var state;       // 0 = pending, 1 = completing, 2 = done
+    var value;
+    var waiters;     // Treiber stack of WaiterNode
+
+    def init() {
+        this.state = 0;
+        this.value = null;
+        this.waiters = null;
+    }
+
+    def isDone() { return atomicGet(this.state) == 2; }
+
+    def complete(v) {
+        // Claim the completion slot first: losers must not clobber the
+        // winner's value.
+        if (!cas(this.state, 0, 1)) {
+            return false;
+        }
+        this.value = v;
+        this.state = 2;
+        // Drain waiters exactly once.
+        while (true) {
+            var ws = atomicGet(this.waiters);
+            if (cas(this.waiters, ws, null)) {
+                while (ws != null) {
+                    if (ws.thread != null) {
+                        unpark(ws.thread);
+                    }
+                    if (ws.callback != null) {
+                        var cb = ws.callback;
+                        cb(v);
+                    }
+                    ws = ws.next;
+                }
+                return true;
+            }
+        }
+        return true;
+    }
+
+    def pushWaiter(node) {
+        while (true) {
+            var ws = atomicGet(this.waiters);
+            node.next = ws;
+            if (cas(this.waiters, ws, node)) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    def get() {
+        if (atomicGet(this.state) == 2) {
+            return this.value;
+        }
+        var me = Thread.current();
+        var node = new WaiterNode(me, null, null);
+        this.pushWaiter(node);
+        while (atomicGet(this.state) != 2) {
+            park();
+        }
+        return this.value;
+    }
+
+    def onComplete(f) {
+        if (atomicGet(this.state) == 2) {
+            f(this.value);
+            return true;
+        }
+        this.pushWaiter(new WaiterNode(null, f, null));
+        // The completion may have raced with registration.
+        if (atomicGet(this.state) == 2) {
+            this.drainLate();
+        }
+        return true;
+    }
+
+    def drainLate() {
+        while (true) {
+            var ws = atomicGet(this.waiters);
+            if (ws == null) {
+                return false;
+            }
+            if (cas(this.waiters, ws, null)) {
+                while (ws != null) {
+                    if (ws.thread != null) {
+                        unpark(ws.thread);
+                    }
+                    if (ws.callback != null) {
+                        var cb = ws.callback;
+                        cb(this.value);
+                    }
+                    ws = ws.next;
+                }
+                return true;
+            }
+        }
+        return false;
+    }
+
+    def map(f) {
+        var out = new Promise();
+        this.onComplete(fun (v) { out.complete(f(v)); });
+        return out;
+    }
+
+    def flatMap(f) {
+        var out = new Promise();
+        this.onComplete(fun (v) {
+            var inner = f(v);
+            inner.onComplete(fun (w) { out.complete(w); });
+        });
+        return out;
+    }
+
+    static def done(v) {
+        var p = new Promise();
+        p.complete(v);
+        return p;
+    }
+}
+
+class PoisonPill {
+    def init() { }
+}
+
+// Fixed-size executor backed by a BlockingQueue of closures.
+class ThreadPool {
+    var queue;
+    var workers;
+    var poolSize;
+
+    def init(n) {
+        this.queue = new BlockingQueue(4096);
+        this.poolSize = n;
+        this.workers = new ref[n];
+        var self = this;
+        var i = 0;
+        while (i < n) {
+            var t = new Thread(fun () { self.workerLoop(); });
+            t.daemon = true;
+            t.name = "pool-worker";
+            t.start();
+            this.workers[i] = t;
+            i = i + 1;
+        }
+    }
+
+    def workerLoop() {
+        while (true) {
+            var task = this.queue.take();
+            if (task instanceof PoisonPill) {
+                break;
+            }
+            task();
+        }
+    }
+
+    def execute(task) {
+        this.queue.put(task);
+    }
+
+    def submit(task) {
+        var p = new Promise();
+        this.queue.put(fun () { p.complete(task()); });
+        return p;
+    }
+
+    def shutdown() {
+        var i = 0;
+        while (i < this.poolSize) {
+            this.queue.put(new PoisonPill());
+            i = i + 1;
+        }
+        i = 0;
+        while (i < this.poolSize) {
+            var w = cast(Thread, this.workers[i]);
+            w.join();
+            i = i + 1;
+        }
+    }
+}
+
+// Fork/join layer: recursive task splitting on a shared pool.
+class ForkJoinTask {
+    var pool;
+    var promise;
+    var body;
+
+    def init(pool, body) {
+        this.pool = pool;
+        this.body = body;
+        this.promise = new Promise();
+    }
+
+    def fork() {
+        var self = this;
+        this.pool.execute(fun () {
+            var b = self.body;
+            self.promise.complete(b());
+        });
+        return this;
+    }
+
+    def join() {
+        return this.promise.get();
+    }
+}
+"""
+
+STREAMS = r"""
+// ------------------------------------------------------------- streams
+// Java-8-Streams analogue: operations take lambdas, which arrive as
+// method handles (the MHS optimization target once `map`/`filter`
+// are inlined into the hot caller).
+class Stream {
+    var data;        // ref array
+    var count;
+
+    def init() {
+        this.data = null;
+        this.count = 0;
+    }
+
+    static def wrap(arr, n) {
+        var s = new Stream();
+        s.data = arr;
+        s.count = n;
+        return s;
+    }
+
+    static def of(list) {
+        return Stream.wrap(list.toArray(), list.size());
+    }
+
+    static def range(lo, hi) {
+        var n = hi - lo;
+        var arr = new ref[n];
+        var i = 0;
+        while (i < n) {
+            arr[i] = lo + i;
+            i = i + 1;
+        }
+        return Stream.wrap(arr, n);
+    }
+
+    def map(f) {
+        var out = new ref[this.count];
+        var i = 0;
+        while (i < this.count) {
+            out[i] = f(this.data[i]);
+            i = i + 1;
+        }
+        return Stream.wrap(out, this.count);
+    }
+
+    def filter(p) {
+        var out = new ref[this.count];
+        var n = 0;
+        var i = 0;
+        while (i < this.count) {
+            var x = this.data[i];
+            if (p(x)) {
+                out[n] = x;
+                n = n + 1;
+            }
+            i = i + 1;
+        }
+        return Stream.wrap(out, n);
+    }
+
+    def reduce(zero, f) {
+        var acc = zero;
+        var i = 0;
+        while (i < this.count) {
+            acc = f(acc, this.data[i]);
+            i = i + 1;
+        }
+        return acc;
+    }
+
+    def forEach(f) {
+        var i = 0;
+        while (i < this.count) {
+            f(this.data[i]);
+            i = i + 1;
+        }
+    }
+
+    def sum() {
+        var acc = 0;
+        var i = 0;
+        while (i < this.count) {
+            acc = acc + this.data[i];
+            i = i + 1;
+        }
+        return acc;
+    }
+
+    def size() { return this.count; }
+
+    def toList() {
+        var out = new ArrayList();
+        var i = 0;
+        while (i < this.count) {
+            out.add(this.data[i]);
+            i = i + 1;
+        }
+        return out;
+    }
+
+    // Parallel variant: chunks dispatched onto a pool, results joined
+    // through promises (parallel streams split work the same way).
+    def parMap(pool, chunks, f) {
+        var n = this.count;
+        var out = new ref[n];
+        var per = (n + chunks - 1) / chunks;
+        var latch = new CountDownLatch(chunks);
+        var data = this.data;
+        var c = 0;
+        while (c < chunks) {
+            var lo = c * per;
+            var hi = lo + per;
+            if (hi > n) {
+                hi = n;
+            }
+            pool.execute(fun () {
+                var i = lo;
+                while (i < hi) {
+                    out[i] = f(data[i]);
+                    i = i + 1;
+                }
+                latch.countDown();
+            });
+            c = c + 1;
+        }
+        latch.await();
+        return Stream.wrap(out, n);
+    }
+}
+"""
+
+STM = r"""
+// ----------------------------------------------------------------- STM
+// Versioned STM with optimistic reads and commit-time validation under
+// a global commit lock (the ScalaSTM role in philosophers/stm-bench7).
+class STMRef {
+    var value;
+    var version;
+
+    def init(v) {
+        this.value = v;
+        this.version = 0;
+    }
+}
+
+class TxnEntry {
+    var ref;
+    var seenVersion;
+    var newValue;
+    var isWrite;
+    var next;
+
+    def init(ref, seenVersion, newValue, isWrite, next) {
+        this.ref = ref;
+        this.seenVersion = seenVersion;
+        this.newValue = newValue;
+        this.isWrite = isWrite;
+        this.next = next;
+    }
+}
+
+class Txn {
+    var entries;     // linked list of TxnEntry
+
+    def init() {
+        this.entries = null;
+    }
+
+    def findEntry(ref) {
+        var e = this.entries;
+        while (e != null) {
+            if (e.ref == ref) {
+                return e;
+            }
+            e = e.next;
+        }
+        return null;
+    }
+
+    def read(ref) {
+        var e = this.findEntry(ref);
+        if (e != null) {
+            if (e.isWrite) {
+                return e.newValue;
+            }
+            return e.ref.value;
+        }
+        this.entries = new TxnEntry(ref, ref.version, null, false, this.entries);
+        return ref.value;
+    }
+
+    def write(ref, v) {
+        var e = this.findEntry(ref);
+        if (e != null) {
+            e.isWrite = true;
+            e.newValue = v;
+            return true;
+        }
+        this.entries = new TxnEntry(ref, ref.version, v, true, this.entries);
+        return true;
+    }
+
+    def commit() {
+        synchronized (STM.commitLock) {
+            var e = this.entries;
+            while (e != null) {
+                if (e.ref.version != e.seenVersion) {
+                    STM.aborts.incrementAndGet();
+                    return false;
+                }
+                e = e.next;
+            }
+            e = this.entries;
+            while (e != null) {
+                if (e.isWrite) {
+                    e.ref.value = e.newValue;
+                    e.ref.version = e.ref.version + 1;
+                }
+                e = e.next;
+            }
+        }
+        STM.commits.incrementAndGet();
+        return true;
+    }
+}
+
+class STM {
+    static var commitLock = new Object();
+    static var aborts = new AtomicLong(0);
+    static var commits = new AtomicLong(0);
+
+    static def atomic(f) {
+        while (true) {
+            var txn = new Txn();
+            var result = f(txn);
+            if (txn.commit()) {
+                return result;
+            }
+        }
+        return null;
+    }
+}
+"""
+
+TEXT = r"""
+// ------------------------------------------------------------ text utils
+class Text {
+    // Split `s` on single-character separator `sep` (a char code).
+    static def split(s, sep) {
+        var out = new ArrayList();
+        var n = Str.len(s);
+        var start = 0;
+        var i = 0;
+        while (i < n) {
+            if (Str.charAt(s, i) == sep) {
+                if (i > start) {
+                    out.add(Str.sub(s, start, i));
+                }
+                start = i + 1;
+            }
+            i = i + 1;
+        }
+        if (n > start) {
+            out.add(Str.sub(s, start, n));
+        }
+        return out;
+    }
+
+    static def join(list, sep) {
+        var out = "";
+        var i = 0;
+        while (i < list.size()) {
+            if (i > 0) {
+                out = out + sep;
+            }
+            out = out + list.get(i);
+            i = i + 1;
+        }
+        return out;
+    }
+
+    static def repeat(s, n) {
+        var out = "";
+        var i = 0;
+        while (i < n) {
+            out = out + s;
+            i = i + 1;
+        }
+        return out;
+    }
+}
+"""
+
+STDLIB_SOURCES = [CORE, COLLECTIONS, CONCURRENT, FUTURES, STREAMS, STM, TEXT]

@@ -1,0 +1,13 @@
+"""Characterizing metrics (paper Section 3) and the PCA analysis
+(Section 4): collection, normalization by reference cycles, and the
+principal-component computation behind Figures 1/8 and Table 3.
+"""
+
+from repro.metrics.profiler import METRIC_NAMES, MetricsPlugin, collect_metrics
+from repro.metrics.normalize import normalize_metrics
+from repro.metrics.pca import PcaResult, run_pca
+
+__all__ = [
+    "METRIC_NAMES", "MetricsPlugin", "collect_metrics",
+    "normalize_metrics", "PcaResult", "run_pca",
+]

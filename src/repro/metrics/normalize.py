@@ -1,0 +1,26 @@
+"""Normalization by reference cycles (paper Section 3.2).
+
+Absolute counts reflect how long a benchmark runs; the paper instead
+uses *rates*: every metric except ``cpu`` is divided by the reference
+cycles executed in the measured interval, making metrics comparable
+across benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.profiler import METRIC_NAMES
+
+
+def normalize_metrics(raw: dict, reference_cycles: int) -> dict:
+    """Raw Table 2 counts -> rates per reference cycle (cpu unchanged,
+    expressed as a fraction in [0, 1])."""
+    if reference_cycles <= 0:
+        raise ValueError("reference_cycles must be positive")
+    out = {}
+    for name in METRIC_NAMES:
+        value = raw.get(name, 0)
+        if name == "cpu":
+            out[name] = value / 100.0
+        else:
+            out[name] = value / reference_cycles
+    return out

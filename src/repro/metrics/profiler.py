@@ -1,0 +1,59 @@
+"""Metric collection (paper Section 3.3).
+
+The paper collects Table 2's metrics with DiSL bytecode instrumentation
+(full coverage, separate runs from the hardware counters).  The
+reproduction's analogue: run the benchmark on the *interpreter* (full
+bytecode coverage, like instrumented runs) and read the VM counters,
+which the substrate bumps on every executed primitive.  ``cpu`` and
+``cachemiss`` come from the scheduler and the cache simulator — the
+stand-ins for ``top`` and ``perf``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.core import GuestBenchmark, Runner
+from repro.harness.plugins import HarnessPlugin
+
+#: Table 2 metric names, in the paper's order.
+METRIC_NAMES = (
+    "synch", "wait", "notify", "atomic", "park",
+    "cpu", "cachemiss", "object", "array", "method", "idynamic",
+)
+
+
+class MetricsPlugin(HarnessPlugin):
+    """Harness plugin capturing steady-state Table 2 metrics."""
+
+    def __init__(self) -> None:
+        self.raw: dict | None = None
+        self.reference_cycles = 0
+        self._steady_snapshot = None
+        self._timing = None
+
+    def before_iteration(self, vm, benchmark, index, warmup) -> None:
+        if not warmup and self._steady_snapshot is None:
+            self._steady_snapshot = vm.counters.snapshot()
+            self._timing = vm.timing_snapshot()
+
+    def after_run(self, vm, benchmark, result) -> None:
+        delta = vm.counters.diff(self._steady_snapshot or {})
+        interval = vm.interval_stats(self._timing or vm.timing_snapshot())
+        self.raw = {name: delta.get(name, 0) for name in METRIC_NAMES
+                    if name != "cpu"}
+        self.raw["cpu"] = interval["cpu"] * 100.0
+        self.reference_cycles = delta.get("reference_cycles", 0)
+
+
+def collect_metrics(benchmark: GuestBenchmark, *, cores: int = 8,
+                    warmup: int | None = None,
+                    measure: int | None = None) -> tuple[dict, int]:
+    """Profile ``benchmark`` on the interpreter (a "profiling run").
+
+    Returns ``(raw_metrics, reference_cycles)`` — raw dynamic counts per
+    Table 2 plus CPU utilization in percent, and the steady-state
+    reference cycles used for normalization.
+    """
+    plugin = MetricsPlugin()
+    runner = Runner(benchmark, jit=None, cores=cores, plugins=(plugin,))
+    runner.run(warmup=1 if warmup is None else warmup, measure=measure)
+    return plugin.raw, plugin.reference_cycles

@@ -1,0 +1,10 @@
+"""The VM facade — the package's main entry point.
+
+:class:`repro.runtime.vm.VM` wires the substrate (heap, scheduler,
+interpreter, cache model) to the JIT and exposes the public API used by
+examples, the harness, and the suites.
+"""
+
+from repro.runtime.vm import VM
+
+__all__ = ["VM"]

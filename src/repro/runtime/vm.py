@@ -1,0 +1,273 @@
+"""The virtual machine facade.
+
+A :class:`VM` owns one complete simulated JVM: class pool, heap, cache
+model, scheduler, interpreter, and (optionally) a JIT compiler.  Typical
+use::
+
+    from repro.runtime import VM
+    from repro.lang import compile_program
+
+    program = compile_program(source_text)
+    vm = VM(jit="graal")
+    vm.load(program)
+    result = vm.invoke("Main.run", [100])
+
+``jit`` may be ``None`` (pure interpretation — used for metric profiling,
+like the paper's instrumented runs), ``"graal"`` (the full pipeline with
+all seven paper optimizations), ``"c2"`` (the classic baseline pipeline),
+or an explicit :class:`repro.jit.pipeline.JitConfig` for selective
+enable/disable experiments (Figure 5).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LinkError, VMError
+from repro.jvm import intrinsics
+from repro.jvm.cache import CacheModel
+from repro.jvm.classfile import ClassPool, JClass, JMethod
+from repro.jvm.counters import Counters
+from repro.jvm.heap import Heap
+from repro.jvm.interpreter import Frame, Interpreter
+from repro.jvm.scheduler import RUNNABLE, JThread, Scheduler
+
+
+#: Arities of the builtin native classes registered by every VM.
+_BUILTIN_NATIVES: dict[str, list[tuple[str, int]]] = {
+    "Sys": [("print", 1), ("println", 1), ("identityHash", 1), ("cores", 0),
+            ("hashOf", 1)],
+    "Math": [
+        ("sqrt", 1), ("exp", 1), ("log", 1), ("pow", 2),
+        ("sin", 1), ("cos", 1), ("floor", 1),
+    ],
+    "Str": [
+        ("len", 1), ("charAt", 2), ("sub", 3), ("indexOf", 2),
+        ("fromChar", 1), ("ofInt", 1), ("hash", 1), ("cmp", 2),
+        ("upper", 1), ("lower", 1), ("parseInt", 1),
+    ],
+    "Arrays": [("copy", 5)],
+}
+
+
+class VM:
+    """One simulated JVM instance."""
+
+    def __init__(
+        self,
+        *,
+        cores: int = 8,
+        quantum: int = 5000,
+        schedule_seed: int = 0,
+        jit: object = "graal",
+    ) -> None:
+        self.counters = Counters()
+        self.pool = ClassPool()
+        self.heap = Heap(self.counters)
+        self.cache = CacheModel(cores, self.counters)
+        self.scheduler = Scheduler(cores=cores, quantum=quantum, seed=schedule_seed)
+        self.scheduler.executor = self._execute_slice
+        self.interpreter = Interpreter(self)
+        self.stdout: list[str] = []
+        self._loaded_marks: set[str] = set()
+        self._class_cache: dict[str, JClass] = {}
+        self._static_cache: dict[tuple[str, str], JMethod] = {}
+        self._bootstrap_builtins()
+        self.jit = self._make_jit(jit)
+        self.machine = self.jit.machine if self.jit is not None else None
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    def _bootstrap_builtins(self) -> None:
+        function_cls = JClass("Function")
+        self.pool.define(function_cls)
+        for owner, methods in _BUILTIN_NATIVES.items():
+            cls = JClass(owner)
+            for name, arity in methods:
+                cls.add_method(JMethod(name, owner, arity, static=True, native=True))
+            self.pool.define(cls)
+
+    def _make_jit(self, jit):
+        if jit is None:
+            return None
+        from repro.jit.jit import JitCompiler
+        from repro.jit.pipeline import JitConfig, c2_config, graal_config
+
+        if jit == "graal":
+            config = graal_config()
+        elif jit == "c2":
+            config = c2_config()
+        elif isinstance(jit, JitConfig):
+            config = jit
+        else:
+            raise VMError(f"bad jit spec {jit!r}")
+        return JitCompiler(self, config)
+
+    # ------------------------------------------------------------------
+    # Program loading.
+    # ------------------------------------------------------------------
+    def load(self, program) -> None:
+        """Define and link all classes of a compiled guest program.
+
+        A Program may be loaded into several VMs over its lifetime (the
+        experiment harness reuses compiled guest programs), so all
+        per-run mutable state on the classes — JIT counters, compiled
+        code, profiles, statics, loaded flags — is reset here.
+        """
+        for cls in program.classes:
+            self.pool.define(cls)
+            cls.loaded = False
+            for field in cls.fields.values():
+                if field.static:
+                    cls.static_values[field.name] = 0
+            for method in cls.methods.values():
+                method.invocation_count = 0
+                method.backedge_count = 0
+                method.call_profile = None
+                method.compiled = None
+                method.compile_failures = 0
+                method.disabled_speculations.clear()
+        self.pool.link_all()
+        for cls in program.classes:
+            if "__clinit__" in cls.methods:
+                self.invoke(cls.methods["__clinit__"], [], name=f"clinit-{cls.name}")
+
+    # ------------------------------------------------------------------
+    # Resolution.
+    # ------------------------------------------------------------------
+    def resolve_class(self, name: str) -> JClass:
+        cls = self._class_cache.get(name)
+        if cls is None:
+            cls = self.pool.get(name)
+            self._class_cache[name] = cls
+        if name not in self._loaded_marks:
+            self._loaded_marks.add(name)
+            cls.loaded = True
+        return cls
+
+    def resolve_static(self, owner: str, name: str) -> JMethod:
+        key = (owner, name)
+        method = self._static_cache.get(key)
+        if method is None:
+            method = self.resolve_class(owner).resolve_method(name)
+            self._static_cache[key] = method
+        return method
+
+    # ------------------------------------------------------------------
+    # Calls and threads.
+    # ------------------------------------------------------------------
+    def charge(self, thread: JThread, cycles: int) -> None:
+        thread.budget -= cycles
+        self.counters.reference_cycles += cycles
+
+    def call(self, thread: JThread, method: JMethod, args: list) -> None:
+        """Invoke ``method``: run a native, or push a frame (JIT-aware)."""
+        if method.native:
+            fn = intrinsics.lookup(method.owner, method.name)
+            self.charge(thread, intrinsics.NATIVE_BASE_COST)
+            result = fn(self, thread, args)
+            thread.frames[-1].receive_result(
+                None if result is intrinsics.VOID else result)
+            return
+        if method.abstract:
+            raise LinkError(f"invoke of abstract method {method.qualified}")
+        method.invocation_count += 1
+        jit = self.jit
+        if jit is not None:
+            if method.compiled is None:
+                jit.on_invoke(method)
+            code = method.compiled
+            if code is not None:
+                thread.frames.append(self.machine.new_frame(code, args))
+                return
+        thread.frames.append(Frame(method, args))
+
+    def on_backedge(self, method: JMethod) -> None:
+        if self.jit is not None and method.compiled is None:
+            self.jit.on_backedge(method)
+
+    def make_function(self, target: JMethod, captured: list):
+        """Allocate a closure object (the INVOKEDYNAMIC bootstrap result)."""
+        obj = self.heap.new_object(self.resolve_class("Function"))
+        obj.meta = (target, tuple(captured))
+        return obj
+
+    def guest_thread_of(self, thread_obj) -> JThread:
+        if thread_obj is None or thread_obj.meta is None:
+            raise VMError("unpark of a thread that was never started")
+        return thread_obj.meta
+
+    def spawn_guest_thread(self, thread_obj, function_obj, *, name: str,
+                           daemon: bool) -> JThread:
+        """Start a guest ``Thread`` whose body is a closure object."""
+        target, captured = function_obj.meta
+        jthread = JThread(name, daemon=daemon)
+        jthread.thread_obj = thread_obj
+        thread_obj.meta = jthread
+        self._push_entry_frame(jthread, target, list(captured))
+        self.scheduler.spawn(jthread)
+        return jthread
+
+    def _push_entry_frame(self, thread: JThread, method: JMethod, args: list) -> None:
+        if method.native:
+            raise VMError("cannot start a thread on a native method")
+        method.invocation_count += 1
+        if self.jit is not None:
+            if method.compiled is None:
+                self.jit.on_invoke(method)
+            if method.compiled is not None:
+                thread.frames.append(
+                    self.machine.new_frame(method.compiled, args))
+                return
+        thread.frames.append(Frame(method, args))
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def _execute_slice(self, thread: JThread) -> int:
+        quantum = self.scheduler.quantum
+        thread.budget = quantum
+        frames = thread.frames
+        while thread.budget > 0 and thread.state == RUNNABLE and frames:
+            top = frames[-1]
+            if type(top) is Frame:
+                self.interpreter.run_frame(thread, top)
+            else:
+                self.machine.run_frame(thread, top)
+        return max(1, quantum - thread.budget)
+
+    def invoke(self, method, args: list | None = None, *, name: str = "main"):
+        """Run ``method`` on a fresh non-daemon thread to completion.
+
+        ``method`` is a :class:`JMethod` or a ``"Class.method"`` string.
+        Returns the guest return value (or ``None`` for void).
+        """
+        if isinstance(method, str):
+            owner, _, mname = method.partition(".")
+            method = self.resolve_static(owner, mname)
+        thread = JThread(name)
+        self._push_entry_frame(thread, method, list(args or []))
+        self.scheduler.spawn(thread)
+        self.scheduler.run()
+        return thread.result
+
+    # ------------------------------------------------------------------
+    # Measurement helpers.
+    # ------------------------------------------------------------------
+    def timing_snapshot(self) -> dict:
+        """Wall clock + work snapshot for interval measurements."""
+        return {
+            "clock": self.scheduler.clock,
+            "work": self.counters.reference_cycles,
+            "busy": self.scheduler.busy_core_slices,
+        }
+
+    def interval_stats(self, before: dict) -> dict:
+        """Wall time, work and CPU utilization since ``before``."""
+        wall = self.scheduler.clock - before["clock"]
+        work = self.counters.reference_cycles - before["work"]
+        busy = self.scheduler.busy_core_slices - before["busy"]
+        cpu = busy / (self.scheduler.cores * wall) if wall else 0.0
+        return {"wall": wall, "work": work, "cpu": min(1.0, cpu)}
+
+    def loaded_class_names(self) -> set[str]:
+        return {c.name for c in self.pool.loaded_classes()}

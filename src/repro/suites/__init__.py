@@ -1,0 +1,16 @@
+"""The benchmark suites.
+
+- :mod:`repro.suites.renaissance` — all 21 benchmarks of the paper's
+  Table 1, written in the guest language against the guest frameworks
+  (promises, thread pools, streams, STM, actors-over-queues),
+- :mod:`repro.suites.dacapo`, :mod:`repro.suites.scalabench`,
+  :mod:`repro.suites.specjvm` — the comparison suites, synthesized to
+  match each suite's published metric profile (DaCapo/ScalaBench:
+  allocation- and dispatch-heavy with little concurrency; SPECjvm2008:
+  compute-bound numeric kernels),
+- :mod:`repro.suites.registry` — lookup by name/suite.
+"""
+
+from repro.suites.registry import all_benchmarks, benchmarks_of, get_benchmark
+
+__all__ = ["all_benchmarks", "benchmarks_of", "get_benchmark"]

@@ -1,0 +1,12 @@
+"""DaCapo-like workloads (paper Table 6, 14 benchmarks).
+
+DaCapo's published profile (paper Table 7): complex object-oriented
+Java applications — high allocation and dynamic-dispatch rates, low CPU
+utilization (mostly one or two active threads), and almost no use of
+the modern concurrency primitives (no invokedynamic: the suite predates
+JDK 7).  The reproductions are single- or dual-threaded OO workloads:
+collection churn, string processing, polymorphic tree walks — no
+lambdas, no atomics beyond incidental ones.
+"""
+
+from repro.suites.dacapo.workloads import benchmarks

@@ -1,0 +1,672 @@
+"""The 14 DaCapo-like benchmark definitions.
+
+Each workload is a small single-process Java-style application: object
+graphs, collections, strings and virtual dispatch.  A few (lusearch,
+sunflow, xalan, tomcat) use two worker threads, matching the original
+suite's mildly parallel members; none use lambdas or explicit atomics.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+_AVRORA = r"""
+// avrora: discrete-event microcontroller simulation.
+class Event {
+    var time;
+    var kind;
+    var payload;
+    def init(time, kind, payload) {
+        this.time = time;
+        this.kind = kind;
+        this.payload = payload;
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var queue = new ArrayList();
+        var regs = new int[16];
+        var clock = 0;
+        var seeded = 0;
+        while (seeded < 8) {
+            queue.add(new Event(seeded * 3, seeded % 4, seeded));
+            seeded = seeded + 1;
+        }
+        var processed = 0;
+        while (processed < n) {
+            // pick earliest event (linear scan priority queue)
+            var bestIdx = 0;
+            var i = 1;
+            while (i < queue.size()) {
+                var e = cast(Event, queue.get(i));
+                var b = cast(Event, queue.get(bestIdx));
+                if (e.time < b.time) { bestIdx = i; }
+                i = i + 1;
+            }
+            var ev = cast(Event, queue.get(bestIdx));
+            queue.set(bestIdx, queue.get(queue.size() - 1));
+            queue.removeLast();
+            clock = ev.time;
+            var r = ev.payload % 16;
+            if (ev.kind == 0) { regs[r] = regs[r] + 1; }
+            if (ev.kind == 1) { regs[r] = regs[r] ^ clock; }
+            if (ev.kind == 2) { regs[r] = (regs[r] << 1) & 65535; }
+            if (ev.kind == 3) { regs[r] = regs[(r + 1) % 16]; }
+            queue.add(new Event(clock + (ev.payload * 7 % 13) + 1,
+                                (ev.kind + 1) % 4, ev.payload + 1));
+            processed = processed + 1;
+        }
+        var acc = 0;
+        var i = 0;
+        while (i < 16) { acc = (acc + regs[i]) % 1000003; i = i + 1; }
+        return acc + clock % 97;
+    }
+}
+"""
+
+_BATIK = r"""
+// batik: 2D vector-graphics path flattening.
+class Bench {
+    static def run(n) {
+        var acc = 0.0;
+        var path = 0;
+        while (path < n) {
+            var x0 = i2d(path % 10);
+            var y0 = i2d(path % 7);
+            var cx = x0 + 3.0;
+            var cy = y0 + 4.0;
+            var x1 = x0 + 6.0;
+            var y1 = y0;
+            var t = 0;
+            while (t < 24) {
+                var u = i2d(t) / 24.0;
+                var mx = (1.0 - u) * ((1.0 - u) * x0 + u * cx)
+                       + u * ((1.0 - u) * cx + u * x1);
+                var my = (1.0 - u) * ((1.0 - u) * y0 + u * cy)
+                       + u * ((1.0 - u) * cy + u * y1);
+                acc = acc + Math.sqrt(mx * mx + my * my);
+                t = t + 1;
+            }
+            path = path + 1;
+        }
+        return d2i(acc);
+    }
+}
+"""
+
+_ECLIPSE = r"""
+// eclipse: IDE-style workspace model churn (maps, lists, strings).
+class Resource {
+    var name;
+    var kind;
+    var children;
+    def init(name, kind) {
+        this.name = name;
+        this.kind = kind;
+        this.children = new ArrayList();
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var workspace = new HashMap();
+        var acc = 0;
+        var op = 0;
+        while (op < n) {
+            var name = "src/module" + (op % 12) + "/File" + (op % 31);
+            var res = workspace.get(name);
+            if (res == null) {
+                res = new Resource(name, op % 3);
+                workspace.put(name, res);
+            }
+            var parent = cast(Resource, res);
+            parent.children.add(new Resource(name + "#m" + op, 9));
+            if (parent.children.size() > 6) {
+                parent.children = new ArrayList();
+                acc = acc + 1;
+            }
+            acc = (acc + Str.len(parent.name)) % 1000003;
+            op = op + 1;
+        }
+        return acc * 1000 + workspace.size();
+    }
+}
+"""
+
+_FOP = r"""
+// fop: XSL-FO layout: word measurement and line breaking.
+class Bench {
+    static def run(n) {
+        var words = new ArrayList();
+        var i = 0;
+        while (i < 40) {
+            words.add("w" + i + Text.repeat("x", i % 9));
+            i = i + 1;
+        }
+        var lines = 0;
+        var page = 0;
+        while (page < n) {
+            var width = 0;
+            var w = 0;
+            while (w < words.size()) {
+                var word = words.get((w + page) % words.size());
+                var len = Str.len(word) * 6 + 4;
+                if (width + len > 240) {
+                    lines = lines + 1;
+                    width = 0;
+                }
+                width = width + len;
+                w = w + 1;
+            }
+            page = page + 1;
+        }
+        return lines;
+    }
+}
+"""
+
+_H2 = r"""
+// h2: in-memory SQL-ish table with synchronized transactions.
+class TxRow {
+    var id;
+    var balance;
+    def init(id, balance) { this.id = id; this.balance = balance; }
+}
+
+class Bank {
+    var rows;
+    def init(count) {
+        this.rows = new ref[count];
+        var i = 0;
+        while (i < count) {
+            this.rows[i] = new TxRow(i, 1000);
+            i = i + 1;
+        }
+    }
+    synchronized def transfer(a, b, amount) {
+        var ra = cast(TxRow, this.rows[a]);
+        var rb = cast(TxRow, this.rows[b]);
+        if (ra.balance >= amount) {
+            ra.balance = ra.balance - amount;
+            rb.balance = rb.balance + amount;
+            return 1;
+        }
+        return 0;
+    }
+    synchronized def total() {
+        var acc = 0;
+        var i = 0;
+        while (i < len(this.rows)) {
+            acc = acc + cast(TxRow, this.rows[i]).balance;
+            i = i + 1;
+        }
+        return acc;
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var bank = new Bank(32);
+        var ok = 0;
+        var tx = 0;
+        while (tx < n) {
+            // Query planning/parsing happens outside the lock, as in a
+            // real engine: most cycles are not under the monitor.
+            var plan = 0;
+            var p = 0;
+            while (p < 12) {
+                plan = (plan * 31 + tx + p) % 1000003;
+                p = p + 1;
+            }
+            ok = (ok + plan) % 1000003;
+            ok = ok + bank.transfer(tx % 32, (tx * 7 + 3) % 32,
+                                    (tx % 90) + 1);
+            if (tx % 16 == 0) {
+                ok = (ok + bank.total()) % 1000003;
+            }
+            tx = tx + 1;
+        }
+        return ok;
+    }
+}
+"""
+
+_JYTHON = r"""
+// jython: dynamic-language interpreter loop (dispatch-heavy).
+interface PyObject {
+    def add(other);
+    def repr();
+}
+class PyInt implements PyObject {
+    var value;
+    def init(value) { this.value = value; }
+    def add(other) { return new PyInt(this.value + other.intValue()); }
+    def intValue() { return this.value; }
+    def repr() { return Str.ofInt(this.value); }
+}
+class PyStr implements PyObject {
+    var value;
+    def init(value) { this.value = value; }
+    def add(other) { return new PyStr(this.value + other.repr()); }
+    def intValue() { return Str.len(this.value); }
+    def repr() { return this.value; }
+}
+
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var step = 0;
+        var obj = new PyInt(1);
+        while (step < n) {
+            if (step % 17 == 0) {
+                obj = new PyStr("s");
+            }
+            if (step % 5 == 0) {
+                obj = new PyInt(step % 1000);
+            }
+            var other = new PyInt(step % 7);
+            obj = cast(PyObject, obj.add(other));
+            acc = (acc + obj.intValue()) % 1000003;
+            step = step + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_LUINDEX = r"""
+// luindex: document tokenization and inverted-index building.
+class Bench {
+    static def run(n) {
+        var index = new HashMap();
+        var doc = 0;
+        var acc = 0;
+        while (doc < n) {
+            var text = "the quick brown fox jumps over the lazy dog d" + doc;
+            var tokens = Text.split(text, ' ');
+            var t = 0;
+            while (t < tokens.size()) {
+                var term = tokens.get(t);
+                var postings = index.get(term);
+                if (postings == null) {
+                    postings = new ArrayList();
+                    index.put(term, postings);
+                }
+                cast(ArrayList, postings).add(doc);
+                t = t + 1;
+            }
+            acc = (acc + tokens.size()) % 1000003;
+            doc = doc + 1;
+        }
+        return acc * 1000 + index.size() % 1000;
+    }
+}
+"""
+
+_LUSEARCH = r"""
+// lusearch-fix: parallel query evaluation over a small index (2 threads).
+class Bench {
+    static def buildIndex(docs) {
+        var index = new HashMap();
+        var doc = 0;
+        while (doc < docs) {
+            var tokens = Text.split(
+                "alpha beta gamma delta epsilon zeta eta d" + (doc % 9), ' ');
+            var t = 0;
+            while (t < tokens.size()) {
+                var term = tokens.get(t);
+                var postings = index.get(term);
+                if (postings == null) {
+                    postings = new ArrayList();
+                    index.put(term, postings);
+                }
+                cast(ArrayList, postings).add(doc);
+                t = t + 1;
+            }
+            doc = doc + 1;
+        }
+        return index;
+    }
+
+    static def run(n) {
+        var index = Bench.buildIndex(24);
+        var latch = new CountDownLatch(2);
+        var total = new AtomicLong(0);
+        var w = 0;
+        while (w < 2) {
+            var wid = w;
+            var t = new Thread(fun () {
+                var acc = 0;
+                var q = 0;
+                var terms = Text.split("alpha beta gamma delta nope", ' ');
+                while (q < n) {
+                    var term = terms.get((q + wid) % terms.size());
+                    var postings = index.get(term);
+                    if (postings != null) {
+                        acc = acc + cast(ArrayList, postings).size();
+                    }
+                    q = q + 1;
+                }
+                total.getAndAdd(acc % 1000003);
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            w = w + 1;
+        }
+        latch.await();
+        return total.get();
+    }
+}
+"""
+
+_PMD = r"""
+// pmd: static-analysis rule checks over a syntax tree.
+class AstNode {
+    var kind;
+    var kids;
+    var depth;
+    def init(kind, depth) {
+        this.kind = kind;
+        this.depth = depth;
+        this.kids = new ArrayList();
+    }
+    def check(acc) {
+        var local = acc;
+        if (this.kind == 0) { local = local + 1; }         // method decl
+        if (this.kind == 1) {
+            if (this.depth > 4) { local = local + 10; }    // deep nesting
+        }
+        if (this.kind == 2) { local = local + this.kids.size(); }
+        var i = 0;
+        while (i < this.kids.size()) {
+            var kid = cast(AstNode, this.kids.get(i));
+            local = kid.check(local) % 1000003;
+            i = i + 1;
+        }
+        return local;
+    }
+}
+
+class Bench {
+    static def buildTree(seed, depth) {
+        var node = new AstNode(seed % 3, depth);
+        if (depth < 5) {
+            var k = 0;
+            while (k < 2 + seed % 2) {
+                node.kids.add(Bench.buildTree(seed * 5 + k + 1, depth + 1));
+                k = k + 1;
+            }
+        }
+        return node;
+    }
+
+    static def run(n) {
+        var acc = 0;
+        var file = 0;
+        while (file < n) {
+            var tree = Bench.buildTree(file + 1, 0);
+            acc = tree.check(acc);
+            file = file + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SUNFLOW_DC = r"""
+// sunflow: two-thread ray tracing over a sphere grid.
+class Bench {
+    static def trace(wid, n) {
+        var acc = 0.0;
+        var ray = 0;
+        while (ray < n) {
+            var ox = i2d((ray * 3 + wid) % 40) / 20.0 - 1.0;
+            var oy = i2d((ray * 7 + wid) % 40) / 20.0 - 1.0;
+            var sphere = 0;
+            while (sphere < 6) {
+                var sx = i2d(sphere % 3) - 1.0;
+                var sy = i2d(sphere / 3) - 0.5;
+                var dx = ox - sx;
+                var dy = oy - sy;
+                var b = dx * 0.1 + dy * 0.1 - 2.0;
+                var c = dx * dx + dy * dy + 3.0;
+                var disc = b * b - c;
+                if (disc > 0.0) {
+                    acc = acc + Math.sqrt(disc);
+                }
+                sphere = sphere + 1;
+            }
+            ray = ray + 1;
+        }
+        return d2i(acc * 100.0);
+    }
+
+    static def run(n) {
+        var latch = new CountDownLatch(2);
+        var total = new AtomicLong(0);
+        var w = 0;
+        while (w < 2) {
+            var wid = w;
+            var t = new Thread(fun () {
+                total.getAndAdd(Bench.trace(wid, n) % 1000003);
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            w = w + 1;
+        }
+        latch.await();
+        return total.get();
+    }
+}
+"""
+
+_TOMCAT = r"""
+// tomcat: servlet request parsing and session map handling (2 threads).
+class Bench {
+    static def handle(sessions, raw, wid) {
+        var parts = Text.split(raw, '&');
+        var acc = 0;
+        var i = 0;
+        while (i < parts.size()) {
+            var kv = parts.get(i);
+            var eq = Str.indexOf(kv, "=");
+            var key = Str.sub(kv, 0, eq);
+            var value = Str.sub(kv, eq + 1, Str.len(kv));
+            acc = (acc + Str.len(key) * 3 + Str.len(value)) % 1000003;
+            i = i + 1;
+        }
+        synchronized (sessions) {
+            var sid = "sess-" + (acc % 16) + "-" + wid;
+            var count = sessions.get(sid);
+            if (count == null) {
+                sessions.put(sid, 1);
+            } else {
+                sessions.put(sid, count + 1);
+            }
+        }
+        return acc;
+    }
+
+    static def run(n) {
+        var sessions = new HashMap();
+        var latch = new CountDownLatch(2);
+        var total = new AtomicLong(0);
+        var w = 0;
+        while (w < 2) {
+            var wid = w;
+            var t = new Thread(fun () {
+                var acc = 0;
+                var req = 0;
+                while (req < n) {
+                    var raw = "user=u" + (req % 9) + "&page=" + (req % 31)
+                            + "&lang=en&token=t" + req;
+                    acc = (acc + Bench.handle(sessions, raw, wid)) % 1000003;
+                    req = req + 1;
+                }
+                total.getAndAdd(acc);
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            w = w + 1;
+        }
+        latch.await();
+        return total.get() % 1000003;
+    }
+}
+"""
+
+_TRADEBEANS = r"""
+// tradebeans: bean-style getter/setter churn over a trading model.
+class Quote {
+    var symbol;
+    var price;
+    var volume;
+    def init(symbol, price, volume) {
+        this.symbol = symbol;
+        this.price = price;
+        this.volume = volume;
+    }
+    def getPrice() { return this.price; }
+    def setPrice(p) { this.price = p; }
+    def getVolume() { return this.volume; }
+    def setVolume(v) { this.volume = v; }
+}
+
+class Bench {
+    static def run(n) {
+        var quotes = new ArrayList();
+        var i = 0;
+        while (i < 24) {
+            quotes.add(new Quote("SYM" + i, 10000 + i * 7, 0));
+            i = i + 1;
+        }
+        var acc = 0;
+        var order = 0;
+        while (order < n) {
+            var q = cast(Quote, quotes.get(order % quotes.size()));
+            var px = q.getPrice();
+            q.setPrice(px + (order % 5) - 2);
+            q.setVolume(q.getVolume() + 10);
+            acc = (acc + q.getPrice() + q.getVolume()) % 1000003;
+            order = order + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_TRADESOAP = r"""
+// tradesoap: the tradebeans model behind SOAP-style string marshalling.
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var call = 0;
+        while (call < n) {
+            var body = "<env><op>quote</op><sym>S" + (call % 20)
+                     + "</sym><px>" + (1000 + call % 500) + "</px></env>";
+            // "Parse" the envelope back.
+            var open = Str.indexOf(body, "<px>");
+            var close = Str.indexOf(body, "</px>");
+            var px = Str.parseInt(Str.sub(body, open + 4, close));
+            acc = (acc + px + Str.len(body)) % 1000003;
+            call = call + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_XALAN = r"""
+// xalan: XSLT-ish template transformation of markup (2 threads).
+class Bench {
+    static def transform(doc) {
+        var out = 0;
+        var m = Str.len(doc);
+        var j = 0;
+        var depth = 0;
+        while (j < m) {
+            var ch = Str.charAt(doc, j);
+            if (ch == '<') {
+                if (Str.charAt(doc, j + 1) == '/') {
+                    depth = depth - 1;
+                } else {
+                    depth = depth + 1;
+                }
+                out = (out * 31 + depth) % 1000003;
+            }
+            j = j + 1;
+        }
+        return out;
+    }
+
+    static def run(n) {
+        var doc = "";
+        var i = 0;
+        while (i < 10) {
+            doc = doc + "<row><a>1</a><b>2</b><c><d>3</d></c></row>";
+            i = i + 1;
+        }
+        var source = doc;
+        var latch = new CountDownLatch(2);
+        var total = new AtomicLong(0);
+        var w = 0;
+        while (w < 2) {
+            var t = new Thread(fun () {
+                var acc = 0;
+                var pass = 0;
+                while (pass < n) {
+                    acc = (acc + Bench.transform(source)) % 1000003;
+                    pass = pass + 1;
+                }
+                total.getAndAdd(acc);
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            w = w + 1;
+        }
+        latch.await();
+        return total.get() % 1000003;
+    }
+}
+"""
+
+
+def _bench(name, source, arg, description, deterministic=True):
+    return GuestBenchmark(
+        name=name,
+        suite="dacapo",
+        source=source,
+        description=description,
+        focus="object-oriented application",
+        args=(arg,),
+        warmup=4,
+        measure=4,
+        deterministic=deterministic,
+    )
+
+
+def benchmarks():
+    return [
+        _bench("avrora", _AVRORA, 900,
+               "discrete-event microcontroller simulation"),
+        _bench("batik", _BATIK, 120, "vector-graphics path flattening"),
+        _bench("eclipse", _ECLIPSE, 700, "IDE workspace model churn"),
+        _bench("fop", _FOP, 120, "line-breaking layout"),
+        _bench("h2", _H2, 800, "synchronized in-memory transactions"),
+        _bench("jython", _JYTHON, 900,
+               "dynamic-language dispatch-heavy interpretation"),
+        _bench("luindex", _LUINDEX, 120, "inverted-index building"),
+        _bench("lusearch-fix", _LUSEARCH, 700,
+               "two-thread index query evaluation"),
+        _bench("pmd", _PMD, 18, "static-analysis tree checks"),
+        _bench("sunflow", _SUNFLOW_DC, 600, "two-thread ray tracing"),
+        _bench("tomcat", _TOMCAT, 260,
+               "request parsing with a shared session map",
+               deterministic=False),
+        _bench("tradebeans", _TRADEBEANS, 1200, "bean getter/setter churn"),
+        _bench("tradesoap", _TRADESOAP, 600, "SOAP-style marshalling"),
+        _bench("xalan", _XALAN, 60, "two-thread markup transformation"),
+    ]

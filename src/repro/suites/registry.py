@@ -1,0 +1,40 @@
+"""Benchmark registry: lookup by name or by suite."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ReproError
+
+SUITES = ("renaissance", "dacapo", "scalabench", "specjvm")
+
+
+@lru_cache(maxsize=1)
+def all_benchmarks() -> tuple:
+    """Every benchmark of every suite, suite order then table order."""
+    out = []
+    for suite in SUITES:
+        out.extend(benchmarks_of(suite))
+    return tuple(out)
+
+
+@lru_cache(maxsize=8)
+def benchmarks_of(suite: str) -> tuple:
+    if suite == "renaissance":
+        from repro.suites.renaissance import benchmarks
+    elif suite == "dacapo":
+        from repro.suites.dacapo import benchmarks
+    elif suite == "scalabench":
+        from repro.suites.scalabench import benchmarks
+    elif suite == "specjvm":
+        from repro.suites.specjvm import benchmarks
+    else:
+        raise ReproError(f"unknown suite {suite!r}; have {SUITES}")
+    return tuple(benchmarks())
+
+
+def get_benchmark(name: str):
+    for bench in all_benchmarks():
+        if bench.name == name:
+            return bench
+    raise ReproError(f"unknown benchmark {name!r}")

@@ -1,0 +1,20 @@
+"""The 21 Renaissance benchmarks (paper Table 1), one module each."""
+
+from importlib import import_module
+
+_MODULES = (
+    "akka_uct", "als", "chi_square", "db_shootout", "dec_tree", "dotty",
+    "finagle_chirper", "finagle_http", "fj_kmeans", "future_genetic",
+    "log_regression", "movie_lens", "naive_bayes", "neo4j_analytics",
+    "page_rank", "philosophers", "reactors", "rx_scrabble", "scrabble",
+    "stm_bench7", "streams_mnemonics",
+)
+
+
+def benchmarks():
+    """All Renaissance GuestBenchmark definitions, Table 1 order."""
+    out = []
+    for name in _MODULES:
+        module = import_module(f"repro.suites.renaissance.{name}")
+        out.append(module.BENCHMARK)
+    return out

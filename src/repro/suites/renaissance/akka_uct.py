@@ -1,0 +1,126 @@
+"""akka-uct: Unbalanced Cobwebbed Tree computation with actors (Table 1).
+
+Focus: actors, message-passing.  Worker "actors" are pool tasks fed
+through a blocking mailbox; tree nodes expand with an unbalanced fanout,
+exercising park/unpark (idle workers), wait/notify (mailbox), and atomic
+work counters — the Akka-style profile of Figure 2's left end.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class UctNode {
+    var depth;
+    var value;
+
+    def init(depth, value) {
+        this.depth = depth;
+        this.value = value;
+    }
+}
+
+class UctTree {
+    var mailbox;      // BlockingQueue of UctNode
+    var pending;      // AtomicLong of outstanding nodes
+    var visited;      // AtomicLong
+    var checksum;     // AtomicLong
+    var maxDepth;
+
+    def init(maxDepth) {
+        this.mailbox = new BlockingQueue(2048);
+        this.pending = new AtomicLong(0);
+        this.visited = new AtomicLong(0);
+        this.checksum = new AtomicLong(0);
+        this.maxDepth = maxDepth;
+    }
+
+    def push(node) {
+        this.pending.incrementAndGet();
+        this.mailbox.put(node);
+    }
+
+    def expand(node) {
+        this.visited.incrementAndGet();
+        this.checksum.getAndAdd(node.value % 1000);
+        if (node.depth < this.maxDepth) {
+            // Unbalanced fanout: deeper on one side (the "cobweb").
+            var fanout = 1;
+            if (node.value % 3 == 0) { fanout = 3; }
+            var c = 0;
+            while (c < fanout) {
+                this.push(new UctNode(node.depth + 1,
+                                      node.value * 31 + c + 7));
+                c = c + 1;
+            }
+        }
+        if (this.pending.getAndAdd(0 - 1) == 1) {
+            synchronized (this) {
+                notifyAll(this);
+            }
+        }
+        return 0;
+    }
+
+    def awaitDone() {
+        synchronized (this) {
+            while (this.pending.get() > 0) {
+                wait(this);
+            }
+        }
+        return 0;
+    }
+
+    def workerLoop() {
+        while (true) {
+            var node = this.mailbox.take();
+            if (node instanceof PoisonPill) {
+                break;
+            }
+            this.expand(cast(UctNode, node));
+        }
+        return 0;
+    }
+}
+
+class Bench {
+    static def run(depth) {
+        var tree = new UctTree(depth);
+        var workers = new ref[4];
+        var w = 0;
+        while (w < 4) {
+            var t = new Thread(fun () { tree.workerLoop(); });
+            t.daemon = true;
+            t.start();
+            workers[w] = t;
+            w = w + 1;
+        }
+        tree.push(new UctNode(0, 17));
+        tree.awaitDone();
+        w = 0;
+        while (w < 4) {
+            tree.mailbox.put(new PoisonPill());
+            w = w + 1;
+        }
+        w = 0;
+        while (w < 4) {
+            var t = cast(Thread, workers[w]);
+            t.join();
+            w = w + 1;
+        }
+        return tree.visited.get() * 1000 + tree.checksum.get() % 1000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="akka-uct",
+    suite="renaissance",
+    source=SOURCE,
+    description="Unbalanced tree expansion over actor-style workers with "
+                "a blocking mailbox",
+    focus="actors, message-passing",
+    args=(9,),
+    warmup=5,
+    measure=4,
+    deterministic=False,
+)

@@ -1,0 +1,123 @@
+"""chi-square: parallel chi-square test (Table 1, Spark ML analogue).
+
+Focus: data-parallel, machine learning.  Observation counting fans out
+over the pool; the statistic loops are double-array arithmetic with
+stream-style lambdas over the category summaries.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class ChiSquare {
+    var observed;     // categories x buckets counts
+    var categories;
+    var buckets;
+    var samples;      // int array of (category, bucket) encoded pairs
+
+    def init(n, categories, buckets) {
+        this.categories = categories;
+        this.buckets = buckets;
+        this.observed = new int[categories * buckets];
+        this.samples = new int[n];
+        var r = new Random(1234);
+        var i = 0;
+        while (i < n) {
+            var cat = r.nextInt(categories);
+            var bucket = (cat + r.nextInt(3)) % buckets;
+            this.samples[i] = cat * buckets + bucket;
+            i = i + 1;
+        }
+    }
+
+    def countChunk(lo, hi, counts) {
+        var s = this.samples;
+        var i = lo;
+        while (i < hi) {
+            var code = s[i];
+            counts[code] = counts[code] + 1;
+            i = i + 1;
+        }
+        return hi - lo;
+    }
+
+    def statistic(pool, chunks) {
+        var self = this;
+        var n = len(this.samples);
+        var partials = new ref[chunks];
+        var latch = new CountDownLatch(chunks);
+        var per = (n + chunks - 1) / chunks;
+        var c = 0;
+        while (c < chunks) {
+            var lo = c * per;
+            var hi = lo + per;
+            if (hi > n) { hi = n; }
+            var counts = new int[this.categories * this.buckets];
+            partials[c] = counts;
+            pool.execute(fun () {
+                self.countChunk(lo, hi, counts);
+                latch.countDown();
+            });
+            c = c + 1;
+        }
+        latch.await();
+        var cells = this.categories * this.buckets;
+        var total = this.observed;
+        var i = 0;
+        while (i < cells) {
+            total[i] = 0;
+            i = i + 1;
+        }
+        c = 0;
+        while (c < chunks) {
+            var counts = partials[c];
+            i = 0;
+            while (i < cells) {
+                total[i] = total[i] + counts[i];
+                i = i + 1;
+            }
+            c = c + 1;
+        }
+        // chi^2 against the uniform expectation.
+        var expected = i2d(n) / i2d(cells);
+        var chi = 0.0;
+        i = 0;
+        while (i < cells) {
+            var d = i2d(total[i]) - expected;
+            chi = chi + d * d / expected;
+            i = i + 1;
+        }
+        return chi;
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new ChiSquare(n, 6, 8);
+        }
+        var cs = cast(ChiSquare, Bench.cached);
+        var pool = new ThreadPool(4);
+        var acc = 0.0;
+        var round = 0;
+        while (round < 4) {
+            acc = acc + cs.statistic(pool, 8);
+            round = round + 1;
+        }
+        pool.shutdown();
+        return d2i(acc);
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="chi-square",
+    suite="renaissance",
+    source=SOURCE,
+    description="Parallel chi-square statistic over bucketed samples",
+    focus="data-parallel, machine learning",
+    args=(4000,),
+    warmup=5,
+    measure=4,
+)

@@ -1,0 +1,117 @@
+"""db-shootout: parallel in-memory database shootout (Table 1).
+
+Focus: query processing, data structures.  A hash-indexed table serves
+point lookups, inserts and small range scans from several client
+threads, mirroring the Java in-memory-DB comparison workload.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class Row {
+    var key;
+    var a;
+    var b;
+
+    def init(key, a, b) {
+        this.key = key;
+        this.a = a;
+        this.b = b;
+    }
+}
+
+class Table {
+    var index;       // HashMap key -> Row
+    var rows;        // ArrayList of Row (scan order)
+    var writes;      // AtomicLong
+
+    def init() {
+        this.index = new HashMap();
+        this.rows = new ArrayList();
+        this.writes = new AtomicLong(0);
+    }
+
+    synchronized def insert(key, a, b) {
+        var row = new Row(key, a, b);
+        this.index.put(key, row);
+        this.rows.add(row);
+        this.writes.incrementAndGet();
+        return row;
+    }
+
+    synchronized def lookup(key) {
+        return this.index.get(key);
+    }
+
+    synchronized def scanSum(lo, count) {
+        var acc = 0;
+        var n = this.rows.size();
+        var i = lo % n;
+        var seen = 0;
+        while (seen < count) {
+            var row = cast(Row, this.rows.get(i));
+            acc = acc + row.a;
+            i = (i + 1) % n;
+            seen = seen + 1;
+        }
+        return acc;
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var table = new Table();
+        var i = 0;
+        while (i < n) {
+            table.insert(i, i * 3, i * 7);
+            i = i + 1;
+        }
+        var pool = new ThreadPool(4);
+        var latch = new CountDownLatch(4);
+        var total = new AtomicLong(0);
+        var client = 0;
+        while (client < 4) {
+            var cid = client;
+            pool.execute(fun () {
+                var acc = 0;
+                var q = 0;
+                while (q < n) {
+                    var key = (q * 13 + cid * 31) % n;
+                    if (q % 11 == 0) {
+                        table.insert(n + q * 4 + cid, q, cid);
+                    } else {
+                        if (q % 7 == 0) {
+                            acc = acc + table.scanSum(key, 8);
+                        } else {
+                            var row = cast(Row, table.lookup(key));
+                            if (row != null) {
+                                acc = acc + row.b;
+                            }
+                        }
+                    }
+                    q = q + 1;
+                }
+                total.getAndAdd(acc % 1000003);
+                latch.countDown();
+            });
+            client = client + 1;
+        }
+        latch.await();
+        pool.shutdown();
+        return table.writes.get() * 1000 + total.get() % 1000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="db-shootout",
+    suite="renaissance",
+    source=SOURCE,
+    description="Point lookups, inserts and range scans on a locked "
+                "hash-indexed table from four clients",
+    focus="query processing, data structures",
+    args=(150,),
+    warmup=5,
+    measure=4,
+    deterministic=False,
+)

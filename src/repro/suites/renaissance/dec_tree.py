@@ -1,0 +1,131 @@
+"""dec-tree: decision-tree classification training (Table 1).
+
+Focus: data-parallel, machine learning.  Split evaluation scans feature
+columns with bounds-checked loops (GM-sensitive, as the paper's ≈8%
+impact row shows) and fans candidate splits out over the pool.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class DecTree {
+    var features;     // rows x dims
+    var labels;
+    var rows;
+    var dims;
+
+    def init(rows, dims) {
+        this.rows = rows;
+        this.dims = dims;
+        this.features = new double[rows * dims];
+        this.labels = new int[rows];
+        var r = new Random(555);
+        var i = 0;
+        while (i < rows * dims) {
+            this.features[i] = r.nextDouble();
+            i = i + 1;
+        }
+        i = 0;
+        while (i < rows) {
+            var x = this.features[i * dims];
+            if (x > 0.5) { this.labels[i] = 1; } else { this.labels[i] = 0; }
+            i = i + 1;
+        }
+    }
+
+    // Gini impurity of splitting dimension `dim` at `threshold`.
+    def splitScore(dim, threshold) {
+        var f = this.features;
+        var lab = this.labels;
+        var d = this.dims;
+        var n = this.rows;
+        var leftPos = 0;
+        var leftTotal = 0;
+        var rightPos = 0;
+        var rightTotal = 0;
+        var i = 0;
+        while (i < n) {
+            var x = f[i * d + dim];
+            if (x < threshold) {
+                leftTotal = leftTotal + 1;
+                leftPos = leftPos + lab[i];
+            } else {
+                rightTotal = rightTotal + 1;
+                rightPos = rightPos + lab[i];
+            }
+            i = i + 1;
+        }
+        var score = 0.0;
+        if (leftTotal > 0) {
+            var p = i2d(leftPos) / i2d(leftTotal);
+            score = score + i2d(leftTotal) * p * (1.0 - p);
+        }
+        if (rightTotal > 0) {
+            var p = i2d(rightPos) / i2d(rightTotal);
+            score = score + i2d(rightTotal) * p * (1.0 - p);
+        }
+        return score;
+    }
+
+    def bestSplit(pool) {
+        var self = this;
+        var futures = new ArrayList();
+        var dim = 0;
+        while (dim < this.dims) {
+            var dd = dim;
+            futures.add(pool.submit(fun () {
+                var best = 1.0e18;
+                var t = 1;
+                while (t < 8) {
+                    var s = self.splitScore(dd, i2d(t) / 8.0);
+                    if (s < best) { best = s; }
+                    t = t + 1;
+                }
+                return best;
+            }));
+            dim = dim + 1;
+        }
+        var best = 1.0e18;
+        var i = 0;
+        while (i < futures.size()) {
+            var f = cast(Promise, futures.get(i));
+            var s = f.get();
+            if (s < best) { best = s; }
+            i = i + 1;
+        }
+        return best;
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new DecTree(n, 6);
+        }
+        var tree = cast(DecTree, Bench.cached);
+        var pool = new ThreadPool(4);
+        var acc = 0.0;
+        var round = 0;
+        while (round < 3) {
+            acc = acc + tree.bestSplit(pool);
+            round = round + 1;
+        }
+        pool.shutdown();
+        return d2i(acc * 1000.0);
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="dec-tree",
+    suite="renaissance",
+    source=SOURCE,
+    description="Decision-tree split search: parallel Gini scans over "
+                "feature columns",
+    focus="data-parallel, machine learning",
+    args=(160,),
+    warmup=5,
+    measure=4,
+)

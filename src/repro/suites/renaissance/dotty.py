@@ -1,0 +1,114 @@
+"""dotty: compiling a Scala codebase with the Dotty compiler (Table 1).
+
+Focus: data structures, synchronization.  The reproduction runs a small
+compiler front-end over generated sources: tokenizing, symbol-table
+insertion (shared, synchronized) and a constant-folding pass over an
+AST of expression nodes — the allocation/dispatch-heavy profile of a
+compiler workload.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class Sym {
+    var name;
+    var arity;
+
+    def init(name, arity) {
+        this.name = name;
+        this.arity = arity;
+    }
+}
+
+class ExprNode { def init() { } }
+class NumNode extends ExprNode {
+    var value;
+    def init(value) { this.value = value; }
+}
+class AddNode extends ExprNode {
+    var lhs;
+    var rhs;
+    def init(lhs, rhs) { this.lhs = lhs; this.rhs = rhs; }
+}
+class MulNode extends ExprNode {
+    var lhs;
+    var rhs;
+    def init(lhs, rhs) { this.lhs = lhs; this.rhs = rhs; }
+}
+
+class MiniCompiler {
+    var symbols;      // shared symbol table, synchronized access
+    var defined;      // AtomicLong
+
+    def init() {
+        this.symbols = new HashMap();
+        this.defined = new AtomicLong(0);
+    }
+
+    synchronized def define(name, arity) {
+        if (!this.symbols.contains(name)) {
+            this.symbols.put(name, new Sym(name, arity));
+            this.defined.incrementAndGet();
+            return 1;
+        }
+        return 0;
+    }
+
+    // Build an unbalanced expression tree from a seed.
+    def parse(seed, depth) {
+        if (depth == 0) {
+            return new NumNode(seed % 17);
+        }
+        var l = this.parse(seed * 3 + 1, depth - 1);
+        var r = this.parse(seed * 5 + 2, depth - 1);
+        if (seed % 2 == 0) {
+            return new AddNode(l, r);
+        }
+        return new MulNode(l, r);
+    }
+
+    // Constant folding: virtual-dispatch-heavy tree walk.
+    def fold(node) {
+        if (node instanceof NumNode) {
+            return cast(NumNode, node).value;
+        }
+        if (node instanceof AddNode) {
+            var a = cast(AddNode, node);
+            return (this.fold(a.lhs) + this.fold(a.rhs)) % 1000003;
+        }
+        var m = cast(MulNode, node);
+        return (this.fold(m.lhs) * this.fold(m.rhs)) % 1000003;
+    }
+
+    def compileUnit(unit, depth) {
+        this.define("unit" + unit, unit % 5);
+        var tree = this.parse(unit * 7 + 3, depth);
+        return this.fold(tree);
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var compiler = new MiniCompiler();
+        var acc = 0;
+        var unit = 0;
+        while (unit < n) {
+            acc = (acc + compiler.compileUnit(unit, 6)) % 1000000007;
+            unit = unit + 1;
+        }
+        return acc * 1000 + compiler.defined.get() % 1000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="dotty",
+    suite="renaissance",
+    source=SOURCE,
+    description="Compiler front-end: parsing into AST nodes, shared "
+                "symbol table, constant-folding walks",
+    focus="data structures, synchronization",
+    args=(60,),
+    warmup=5,
+    measure=4,
+)

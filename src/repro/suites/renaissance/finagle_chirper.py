@@ -1,0 +1,127 @@
+"""finagle-chirper: a microblogging service on futures (Table 1).
+
+Focus: network stack, futures, atomics.  Each request allocates a
+Promise, mutates it through CAS a few times, and either discards it or
+publishes it to a feed — the com.twitter.util.Promise pattern Section
+5.1 names as the Escape-Analysis-with-Atomic-Operations (EAWA) target
+(paper: ≈24% impact).  The "network" is the loopback analogue: request
+queues between client and server threads in one process.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class Chirp {
+    var author;
+    var text;
+
+    def init(author, text) {
+        this.author = author;
+        this.text = text;
+    }
+}
+
+class Feed {
+    var chirps;
+    var counter;     // lock-free size counter (reads dominate)
+
+    def init() {
+        this.chirps = new ArrayList();
+        this.counter = new AtomicLong(0);
+    }
+
+    def post(chirp) {
+        synchronized (this) {
+            this.chirps.add(chirp);
+        }
+        return this.counter.incrementAndGet();
+    }
+
+    def size() {
+        return this.counter.get();
+    }
+}
+
+class Service {
+    var feed;
+    var requests;    // AtomicLong
+
+    def init() {
+        this.feed = new Feed();
+        this.requests = new AtomicLong(0);
+    }
+
+    // The EAWA pattern (paper 5.1: java.util.concurrent.atomic.
+    // AtomicReference / com.twitter.util.Promise): a response holder is
+    // allocated, its state advanced through CAS, and consumed locally —
+    // it never escapes the request handler.
+    def handlePost(author, k) {
+        this.requests.incrementAndGet();
+        var response = new AtomicRef(0);
+        response.compareAndSet(0,
+            this.feed.post(new Chirp(author, "chirp-" + k)));
+        response.compareAndSet(0, 0 - 1);    // timeout arm: already set
+        return response.get();
+    }
+
+    def handleRead() {
+        var response = new AtomicRef(0);
+        response.compareAndSet(0, this.feed.size() + 1);
+        return response.get();
+    }
+}
+
+class Bench {
+    static var pool = null;
+    static var service = null;
+
+    static def run(n) {
+        if (Bench.pool == null) {
+            Bench.pool = new ThreadPool(4);
+            Bench.service = new Service();
+        }
+        var pool = cast(ThreadPool, Bench.pool);
+        var service = cast(Service, Bench.service);
+        var futures = new ArrayList();
+        var user = 0;
+        while (user < 4) {
+            var uid = user;
+            futures.add(pool.submit(fun () {
+                var acc = 0;
+                var k = 0;
+                while (k < n) {
+                    if (k % 8 == 0) {
+                        acc = acc + service.handlePost(uid, k);
+                    } else {
+                        acc = acc + service.handleRead();
+                    }
+                    k = k + 1;
+                }
+                return acc % 1000003;
+            }));
+            user = user + 1;
+        }
+        var total = 0;
+        var f = 0;
+        while (f < futures.size()) {
+            var p = cast(Promise, futures.get(f));
+            total = (total + p.get()) % 1000003;
+            f = f + 1;
+        }
+        return total;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="finagle-chirper",
+    suite="renaissance",
+    source=SOURCE,
+    description="Microblogging service: request handlers allocate and "
+                "CAS-complete promises that rarely escape",
+    focus="network stack, futures, atomics",
+    args=(100,),
+    warmup=6,
+    measure=4,
+    deterministic=False,
+)

@@ -1,0 +1,132 @@
+"""finagle-http: high server load over the loopback stack (Table 1).
+
+Focus: network stack, message-passing.  Client threads push request
+strings through a bounded queue to server workers that parse, route and
+respond through per-client response queues — the single-process loopback
+encoding the paper describes for its network benchmarks.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class HttpRequest {
+    var path;
+    var client;
+    var seq;
+
+    def init(path, client, seq) {
+        this.path = path;
+        this.client = client;
+        this.seq = seq;
+    }
+}
+
+class HttpServer {
+    var requests;     // BlockingQueue of HttpRequest
+    var responses;    // ref array of per-client BlockingQueues
+    var served;       // AtomicLong
+
+    def init(clients) {
+        this.requests = new BlockingQueue(256);
+        this.responses = new ref[clients];
+        this.served = new AtomicLong(0);
+        var i = 0;
+        while (i < clients) {
+            this.responses[i] = new BlockingQueue(64);
+            i = i + 1;
+        }
+    }
+
+    def route(path) {
+        // "Routing": hash the path segments.
+        var h = 7;
+        var n = Str.len(path);
+        var i = 0;
+        while (i < n) {
+            h = (h * 31 + Str.charAt(path, i)) % 1000003;
+            i = i + 1;
+        }
+        return h;
+    }
+
+    def serverLoop() {
+        while (true) {
+            var req = this.requests.take();
+            if (req instanceof PoisonPill) {
+                break;
+            }
+            var r = cast(HttpRequest, req);
+            var status = this.route(r.path);
+            this.served.incrementAndGet();
+            var out = cast(BlockingQueue, this.responses[r.client]);
+            out.put("200:" + status + ":" + r.seq);
+        }
+        return 0;
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var clients = 3;
+        var server = new HttpServer(clients);
+        var s = 0;
+        var servers = new ref[2];
+        while (s < 2) {
+            var t = new Thread(fun () { server.serverLoop(); });
+            t.daemon = true;
+            t.start();
+            servers[s] = t;
+            s = s + 1;
+        }
+        var latch = new CountDownLatch(clients);
+        var checks = new AtomicLong(0);
+        var c = 0;
+        while (c < clients) {
+            var cid = c;
+            var t = new Thread(fun () {
+                var inbox = cast(BlockingQueue, server.responses[cid]);
+                var acc = 0;
+                var i = 0;
+                while (i < n) {
+                    server.requests.put(
+                        new HttpRequest("/api/user/" + (i % 10), cid, i));
+                    var resp = inbox.take();
+                    acc = (acc + Str.len(resp)) % 1000003;
+                    i = i + 1;
+                }
+                checks.getAndAdd(acc);
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            c = c + 1;
+        }
+        latch.await();
+        s = 0;
+        while (s < 2) {
+            server.requests.put(new PoisonPill());
+            s = s + 1;
+        }
+        s = 0;
+        while (s < 2) {
+            var t = cast(Thread, servers[s]);
+            t.join();
+            s = s + 1;
+        }
+        return server.served.get() * 1000 + checks.get() % 1000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="finagle-http",
+    suite="renaissance",
+    source=SOURCE,
+    description="Request/response over loopback queues: clients, two "
+                "server workers, per-client response channels",
+    focus="network stack, message-passing",
+    args=(60,),
+    warmup=5,
+    measure=4,
+    deterministic=False,
+)

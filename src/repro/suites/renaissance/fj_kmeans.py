@@ -1,0 +1,144 @@
+"""fj-kmeans: K-means with the fork/join layer (paper Table 1).
+
+Focus: task-parallel, concurrent data structures.  The reassignment
+loop accumulates cluster members through a *synchronized* ``Vector`` —
+the ``java.util.Vector``-in-a-hot-loop pattern Section 5.2 identifies,
+making this the Loop-Wide Lock Coarsening (LLC) headline benchmark
+(paper: ≈71% impact).
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class KMeans {
+    var points;      // double array, 2 per point
+    var count;
+    var cxs;         // cluster centroid xs
+    var cys;
+    var k;
+    var members;     // Vector of assignments per cluster (synchronized)
+
+    def init(count, k) {
+        this.count = count;
+        this.k = k;
+        this.points = new double[count * 2];
+        this.cxs = new double[k];
+        this.cys = new double[k];
+        var r = new Random(991);
+        var i = 0;
+        while (i < count * 2) {
+            this.points[i] = r.nextDouble() * 100.0;
+            i = i + 1;
+        }
+        i = 0;
+        while (i < k) {
+            this.cxs[i] = this.points[i * 2];
+            this.cys[i] = this.points[i * 2 + 1];
+            i = i + 1;
+        }
+        this.members = null;
+    }
+
+    def assignChunk(lo, hi, counts, sizes, sumx, sumy) {
+        var i = lo;
+        while (i < hi) {
+            var px = this.points[i * 2];
+            var py = this.points[i * 2 + 1];
+            var best = 0;
+            var bestDist = 1.0e18;
+            var kk = this.k;
+            var c = 0;
+            while (c < kk) {
+                var dx = px - this.cxs[c];
+                var dy = py - this.cys[c];
+                var d = dx * dx + dy * dy;
+                if (d < bestDist) {
+                    bestDist = d;
+                    best = c;
+                }
+                c = c + 1;
+            }
+            // The paper's pattern: a synchronized collection updated in
+            // the hot loop (LLC coarsens these monitor operations).
+            counts.add(best);
+            synchronized (sumx) {
+                sizes[best] = sizes[best] + 1;
+                sumx[best] = sumx[best] + px;
+                sumy[best] = sumy[best] + py;
+            }
+            i = i + 1;
+        }
+        return hi - lo;
+    }
+
+    def iterate(pool, tasks) {
+        var counts = new Vector();
+        var sizes = new int[this.k];
+        var sumx = new double[this.k];
+        var sumy = new double[this.k];
+        var self = this;
+        var per = (this.count + tasks - 1) / tasks;
+        var forked = new ArrayList();
+        var t = 0;
+        while (t < tasks) {
+            var lo = t * per;
+            var hi = lo + per;
+            if (hi > this.count) { hi = this.count; }
+            var task = new ForkJoinTask(pool, fun ()
+                self.assignChunk(lo, hi, counts, sizes, sumx, sumy));
+            forked.add(task.fork());
+            t = t + 1;
+        }
+        t = 0;
+        while (t < forked.size()) {
+            var task = cast(ForkJoinTask, forked.get(t));
+            task.join();
+            t = t + 1;
+        }
+        // Recompute centroids from the accumulated sums.
+        var c = 0;
+        while (c < this.k) {
+            if (sizes[c] > 0) {
+                this.cxs[c] = sumx[c] / i2d(sizes[c]);
+                this.cys[c] = sumy[c] / i2d(sizes[c]);
+            }
+            c = c + 1;
+        }
+        return counts.size();
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new KMeans(n, 4);
+        }
+        var km = cast(KMeans, Bench.cached);
+        var pool = new ThreadPool(4);
+        var total = 0;
+        var round = 0;
+        while (round < 4) {
+            total = total + km.iterate(pool, 8);
+            round = round + 1;
+        }
+        pool.shutdown();
+        var check = d2i(km.cxs[0] + km.cys[0] + km.cxs[3] + km.cys[3]);
+        return total * 1000 + check % 1000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="fj-kmeans",
+    suite="renaissance",
+    source=SOURCE,
+    description="K-means clustering on a fork/join pool with a "
+                "synchronized Vector accumulating assignments",
+    focus="task-parallel, concurrent data structures",
+    args=(220,),
+    warmup=6,
+    measure=4,
+    deterministic=False,
+)

@@ -1,0 +1,133 @@
+"""log-regression: logistic regression over a dense dataset (Table 1).
+
+Focus: data-parallel, machine learning.  The gradient loops index
+feature arrays with induction variables, so each access carries null +
+bounds guards — Section 5.5's Speculative Guard Motion (GM) headline
+(paper: ≈15% impact; the guard-count table of Section 5.5 is
+regenerated from this workload by the analysis driver).
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class LogRegression {
+    var features;     // rows * dims, dense
+    var labels;       // 0/1 per row
+    var weights;
+    var rows;
+    var dims;
+
+    def init(rows, dims) {
+        this.rows = rows;
+        this.dims = dims;
+        this.features = new double[rows * dims];
+        this.labels = new int[rows];
+        this.weights = new double[dims];
+        var r = new Random(31);
+        var i = 0;
+        while (i < rows * dims) {
+            this.features[i] = r.nextDouble() * 2.0 - 1.0;
+            i = i + 1;
+        }
+        i = 0;
+        while (i < rows) {
+            this.labels[i] = r.nextInt(2);
+            i = i + 1;
+        }
+    }
+
+    def dot(row) {
+        var acc = 0.0;
+        var base = row * this.dims;
+        var f = this.features;
+        var w = this.weights;
+        var d = this.dims;
+        var j = 0;
+        while (j < d) {
+            acc = acc + f[base + j] * w[j];
+            j = j + 1;
+        }
+        return acc;
+    }
+
+    def gradientChunk(lo, hi, grad) {
+        var f = this.features;
+        var d = this.dims;
+        var i = lo;
+        while (i < hi) {
+            var margin = this.dot(i);
+            var p = 1.0 / (1.0 + Math.exp(0.0 - margin));
+            var err = p - i2d(this.labels[i]);
+            var base = i * d;
+            var j = 0;
+            while (j < d) {
+                grad[j] = grad[j] + err * f[base + j];
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        return hi - lo;
+    }
+
+    def step(pool, tasks, rate) {
+        var self = this;
+        var grads = new ref[tasks];
+        var latch = new CountDownLatch(tasks);
+        var per = (this.rows + tasks - 1) / tasks;
+        var t = 0;
+        while (t < tasks) {
+            var lo = t * per;
+            var hi = lo + per;
+            if (hi > this.rows) { hi = this.rows; }
+            var g = new double[this.dims];
+            grads[t] = g;
+            pool.execute(fun () {
+                self.gradientChunk(lo, hi, g);
+                latch.countDown();
+            });
+            t = t + 1;
+        }
+        latch.await();
+        var j = 0;
+        while (j < this.dims) {
+            var sum = 0.0;
+            t = 0;
+            while (t < tasks) {
+                var g = grads[t];
+                sum = sum + g[j];
+                t = t + 1;
+            }
+            this.weights[j] = this.weights[j] - rate * sum / i2d(this.rows);
+            j = j + 1;
+        }
+        return this.weights[0];
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var model = new LogRegression(n, 12);
+        var pool = new ThreadPool(4);
+        var w0 = 0.0;
+        var epoch = 0;
+        while (epoch < 3) {
+            w0 = model.step(pool, 4, 0.5);
+            epoch = epoch + 1;
+        }
+        pool.shutdown();
+        return d2i(w0 * 1000000.0);
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="log-regression",
+    suite="renaissance",
+    source=SOURCE,
+    description="Parallel logistic-regression gradient descent over "
+                "dense double arrays",
+    focus="data-parallel, machine learning",
+    args=(120,),
+    warmup=6,
+    measure=4,
+)

@@ -1,0 +1,110 @@
+"""movie-lens: recommender on the MovieLens dataset (Table 1).
+
+Focus: data-parallel, compute-bound.  A synthetic rating matrix stands
+in for the proprietary trace (the dataset is replaced per the
+substitution rule — the access pattern and compute shape of
+user-similarity scoring is what matters).  Top-N recommendation scans
+run per user across the pool.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class MovieLens {
+    var ratings;      // users x movies (0 = unrated)
+    var users;
+    var movies;
+
+    def init(users, movies) {
+        this.users = users;
+        this.movies = movies;
+        this.ratings = new int[users * movies];
+        var r = new Random(404);
+        var i = 0;
+        while (i < users * movies) {
+            if (r.nextInt(3) == 0) {
+                this.ratings[i] = r.nextInt(5) + 1;
+            }
+            i = i + 1;
+        }
+    }
+
+    def similarity(u, v) {
+        var m = this.movies;
+        var rt = this.ratings;
+        var dot = 0;
+        var nu = 0;
+        var nv = 0;
+        var j = 0;
+        while (j < m) {
+            var a = rt[u * m + j];
+            var b = rt[v * m + j];
+            dot = dot + a * b;
+            nu = nu + a * a;
+            nv = nv + b * b;
+            j = j + 1;
+        }
+        if (nu == 0) { return 0.0; }
+        if (nv == 0) { return 0.0; }
+        return i2d(dot) / Math.sqrt(i2d(nu) * i2d(nv));
+    }
+
+    def recommendScore(u) {
+        // Sum similarity-weighted ratings from every other user.
+        var best = 0.0;
+        var v = 0;
+        while (v < this.users) {
+            if (v != u) {
+                var s = this.similarity(u, v);
+                if (s > best) { best = s; }
+            }
+            v = v + 1;
+        }
+        return best;
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new MovieLens(n, 24);
+        }
+        var ml = cast(MovieLens, Bench.cached);
+        var pool = new ThreadPool(4);
+        var latch = new CountDownLatch(4);
+        var total = new AtomicLong(0);
+        var w = 0;
+        while (w < 4) {
+            var wid = w;
+            pool.execute(fun () {
+                var acc = 0.0;
+                var u = wid;
+                while (u < ml.users) {
+                    acc = acc + ml.recommendScore(u);
+                    u = u + 4;
+                }
+                total.getAndAdd(d2i(acc * 1000.0));
+                latch.countDown();
+            });
+            w = w + 1;
+        }
+        latch.await();
+        pool.shutdown();
+        return total.get();
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="movie-lens",
+    suite="renaissance",
+    source=SOURCE,
+    description="User-similarity recommender over a synthetic rating "
+                "matrix (MovieLens stand-in)",
+    focus="data-parallel, compute-bound",
+    args=(28,),
+    warmup=5,
+    measure=4,
+)

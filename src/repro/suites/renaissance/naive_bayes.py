@@ -1,0 +1,130 @@
+"""naive-bayes: multinomial naive Bayes training (Table 1).
+
+Focus: data-parallel, machine learning.  Per-class feature counting
+fans out over the pool; the log-likelihood pass is double math over the
+count tables — high CPU utilization and allocation like the paper's
+Spark ML original.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class NaiveBayes {
+    var docs;         // n x dims term counts
+    var labels;
+    var n;
+    var dims;
+    var classes;
+
+    def init(n, dims, classes) {
+        this.n = n;
+        this.dims = dims;
+        this.classes = classes;
+        this.docs = new int[n * dims];
+        this.labels = new int[n];
+        var r = new Random(808);
+        var i = 0;
+        while (i < n) {
+            var cls = r.nextInt(classes);
+            this.labels[i] = cls;
+            var j = 0;
+            while (j < dims) {
+                if ((j + cls) % 3 == 0) {
+                    this.docs[i * dims + j] = r.nextInt(4);
+                }
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+    }
+
+    def countChunk(lo, hi, counts) {
+        var d = this.dims;
+        var i = lo;
+        while (i < hi) {
+            var cls = this.labels[i];
+            var base = cls * d;
+            var j = 0;
+            while (j < d) {
+                counts[base + j] = counts[base + j] + this.docs[i * d + j];
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        return hi - lo;
+    }
+
+    def train(pool, chunks) {
+        var self = this;
+        var partials = new ref[chunks];
+        var latch = new CountDownLatch(chunks);
+        var per = (this.n + chunks - 1) / chunks;
+        var c = 0;
+        while (c < chunks) {
+            var lo = c * per;
+            var hi = lo + per;
+            if (hi > this.n) { hi = this.n; }
+            var counts = new int[this.classes * this.dims];
+            partials[c] = counts;
+            pool.execute(fun () {
+                self.countChunk(lo, hi, counts);
+                latch.countDown();
+            });
+            c = c + 1;
+        }
+        latch.await();
+        // Merge and compute smoothed log-likelihood checksum.
+        var cells = this.classes * this.dims;
+        var merged = new int[cells];
+        c = 0;
+        while (c < chunks) {
+            var counts = partials[c];
+            var i = 0;
+            while (i < cells) {
+                merged[i] = merged[i] + counts[i];
+                i = i + 1;
+            }
+            c = c + 1;
+        }
+        var acc = 0.0;
+        var i = 0;
+        while (i < cells) {
+            acc = acc + Math.log(i2d(merged[i] + 1));
+            i = i + 1;
+        }
+        return acc;
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new NaiveBayes(n, 20, 4);
+        }
+        var nb = cast(NaiveBayes, Bench.cached);
+        var pool = new ThreadPool(4);
+        var acc = 0.0;
+        var round = 0;
+        while (round < 3) {
+            acc = acc + nb.train(pool, 8);
+            round = round + 1;
+        }
+        pool.shutdown();
+        return d2i(acc * 100.0);
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="naive-bayes",
+    suite="renaissance",
+    source=SOURCE,
+    description="Parallel multinomial naive Bayes count aggregation and "
+                "log-likelihood pass",
+    focus="data-parallel, machine learning",
+    args=(120,),
+    warmup=5,
+    measure=4,
+)

@@ -1,0 +1,120 @@
+"""neo4j-analytics: analytical queries and transactions on a graph
+database (Table 1).
+
+Focus: query processing, transactions.  An adjacency-list property
+graph answers neighborhood-aggregation queries while STM transactions
+update node properties concurrently — the mixed analytical/transactional
+profile of the Neo4J workload.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class GraphDb {
+    var adjacency;    // ref array: int[] neighbor lists
+    var property;     // STMRef per node
+    var nodes;
+
+    def init(nodes, degree) {
+        this.nodes = nodes;
+        this.adjacency = new ref[nodes];
+        this.property = new ref[nodes];
+        var r = new Random(606);
+        var i = 0;
+        while (i < nodes) {
+            var adj = new int[degree];
+            var j = 0;
+            while (j < degree) {
+                adj[j] = (i * 7 + j * 13 + r.nextInt(nodes)) % nodes;
+                j = j + 1;
+            }
+            this.adjacency[i] = adj;
+            this.property[i] = new STMRef(i % 10);
+            i = i + 1;
+        }
+    }
+
+    // Analytical query: two-hop neighborhood property sum.
+    def twoHopSum(node) {
+        var acc = 0;
+        var adj = this.adjacency[node];
+        var n1 = len(adj);
+        var i = 0;
+        while (i < n1) {
+            var mid = adj[i];
+            var ref1 = cast(STMRef, this.property[mid]);
+            acc = acc + atomicGet(ref1.value);
+            var adj2 = this.adjacency[mid];
+            var n2 = len(adj2);
+            var j = 0;
+            while (j < n2) {
+                var ref2 = cast(STMRef, this.property[adj2[j]]);
+                acc = acc + atomicGet(ref2.value);
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        return acc;
+    }
+
+    // Transaction: move property value along an edge.
+    def transfer(fromNode, toNode) {
+        var src = cast(STMRef, this.property[fromNode]);
+        var dst = cast(STMRef, this.property[toNode]);
+        return STM.atomic(fun (txn) {
+            var a = txn.read(src);
+            var b = txn.read(dst);
+            if (a > 0) {
+                txn.write(src, a - 1);
+                txn.write(dst, b + 1);
+            }
+            return a + b;
+        });
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var db = new GraphDb(n, 4);
+        var pool = new ThreadPool(4);
+        var latch = new CountDownLatch(4);
+        var total = new AtomicLong(0);
+        var w = 0;
+        while (w < 4) {
+            var wid = w;
+            pool.execute(fun () {
+                var acc = 0;
+                var q = 0;
+                while (q < n) {
+                    var node = (q * 17 + wid * 5) % db.nodes;
+                    if (q % 3 == 0) {
+                        acc = acc + db.transfer(node, (node + 1) % db.nodes);
+                    } else {
+                        acc = acc + db.twoHopSum(node);
+                    }
+                    q = q + 1;
+                }
+                total.getAndAdd(acc % 1000003);
+                latch.countDown();
+            });
+            w = w + 1;
+        }
+        latch.await();
+        pool.shutdown();
+        return total.get() % 1000000 + STM.commits.get() * 1000000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="neo4j-analytics",
+    suite="renaissance",
+    source=SOURCE,
+    description="Graph database: two-hop analytical queries mixed with "
+                "STM property-transfer transactions",
+    focus="query processing, transactions",
+    args=(60,),
+    warmup=5,
+    measure=4,
+    deterministic=False,
+)

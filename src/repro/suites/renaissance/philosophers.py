@@ -1,0 +1,106 @@
+"""philosophers: dining philosophers on ScalaSTM (Table 1).
+
+Focus: STM, atomics, guarded blocks.  Each philosopher transactionally
+grabs both forks (retrying on conflict — the STM abort counter is the
+contention signal), eats, then releases.  The reproduction of
+ScalaSTM's Reality-Show Philosophers example.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class Philosophers {
+    var forks;        // STMRef per fork: 0 = free, 1 = taken
+    var meals;        // AtomicLong per philosopher
+    var seats;
+
+    def init(seats) {
+        this.seats = seats;
+        this.forks = new ref[seats];
+        this.meals = new ref[seats];
+        var i = 0;
+        while (i < seats) {
+            this.forks[i] = new STMRef(0);
+            this.meals[i] = new AtomicLong(0);
+            i = i + 1;
+        }
+    }
+
+    def tryEat(seat) {
+        var left = cast(STMRef, this.forks[seat]);
+        var right = cast(STMRef, this.forks[(seat + 1) % this.seats]);
+        var got = STM.atomic(fun (txn) {
+            var l = txn.read(left);
+            var r = txn.read(right);
+            if (l == 0) {
+                if (r == 0) {
+                    txn.write(left, 1);
+                    txn.write(right, 1);
+                    return 1;
+                }
+            }
+            return 0;
+        });
+        if (got == 1) {
+            var counter = cast(AtomicLong, this.meals[seat]);
+            counter.incrementAndGet();
+            STM.atomic(fun (txn) {
+                txn.write(left, 0);
+                txn.write(right, 0);
+                return 0;
+            });
+            return 1;
+        }
+        return 0;
+    }
+
+    def dine(seat, rounds) {
+        var eaten = 0;
+        while (eaten < rounds) {
+            eaten = eaten + this.tryEat(seat);
+        }
+        return eaten;
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var seats = 5;
+        var table = new Philosophers(seats);
+        var latch = new CountDownLatch(seats);
+        var s = 0;
+        while (s < seats) {
+            var seat = s;
+            var t = new Thread(fun () {
+                table.dine(seat, n);
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            s = s + 1;
+        }
+        latch.await();
+        var total = 0;
+        s = 0;
+        while (s < seats) {
+            var counter = cast(AtomicLong, table.meals[s]);
+            total = total + counter.get();
+            s = s + 1;
+        }
+        return total;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="philosophers",
+    suite="renaissance",
+    source=SOURCE,
+    description="Dining philosophers: transactional fork acquisition "
+                "with abort-driven retries",
+    focus="STM, atomics, guarded blocks",
+    args=(30,),
+    warmup=5,
+    measure=4,
+    expected=150,
+)

@@ -1,0 +1,99 @@
+"""reactors: message-passing workloads in the Reactors framework
+(Table 1).
+
+Focus: actors, message-passing, critical sections.  A ring of reactors
+forwards a token (ping-ring), plus a fan-in counting protocol — each
+reactor owns a guarded-block mailbox and a synchronized event log, the
+paper's "message-passing + critical sections" mix.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class Reactor {
+    var mailbox;      // BlockingQueue
+    var log;          // shared Vector (critical sections)
+    var next;         // next reactor in the ring
+    var hops;         // AtomicLong
+
+    def init(log) {
+        this.mailbox = new BlockingQueue(128);
+        this.log = log;
+        this.next = null;
+        this.hops = new AtomicLong(0);
+    }
+
+    def eventLoop(rounds) {
+        var done = 0;
+        while (done < rounds) {
+            var token = this.mailbox.take();
+            this.hops.incrementAndGet();
+            this.log.add(token);
+            if (token > 0) {
+                this.next.mailbox.put(token - 1);
+            } else {
+                done = rounds;     // ring drained
+            }
+            done = done + 1;
+        }
+        return this.hops.get();
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var ringSize = 4;
+        var log = new Vector();
+        var reactors = new ref[ringSize];
+        var i = 0;
+        while (i < ringSize) {
+            reactors[i] = new Reactor(log);
+            i = i + 1;
+        }
+        i = 0;
+        while (i < ringSize) {
+            var r = cast(Reactor, reactors[i]);
+            r.next = cast(Reactor, reactors[(i + 1) % ringSize]);
+            i = i + 1;
+        }
+        var latch = new CountDownLatch(ringSize);
+        i = 0;
+        while (i < ringSize) {
+            var r = cast(Reactor, reactors[i]);
+            var t = new Thread(fun () {
+                r.eventLoop(n);
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            i = i + 1;
+        }
+        // Inject the token: it decrements per hop until zero.
+        var first = cast(Reactor, reactors[0]);
+        first.mailbox.put(ringSize * n - 1);
+        latch.await();
+        var total = 0;
+        i = 0;
+        while (i < ringSize) {
+            var r = cast(Reactor, reactors[i]);
+            total = total + r.hops.get();
+            i = i + 1;
+        }
+        return total * 1000 + log.size() % 1000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="reactors",
+    suite="renaissance",
+    source=SOURCE,
+    description="Token ring of reactors with guarded-block mailboxes and "
+                "a synchronized event log",
+    focus="actors, message-passing, critical sections",
+    args=(60,),
+    warmup=5,
+    measure=4,
+)
+"""The token starts at ringSize*n-1 and each hop decrements it; every
+reactor sees exactly n tokens, so hop counts are deterministic."""

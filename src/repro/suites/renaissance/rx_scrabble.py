@@ -1,0 +1,151 @@
+"""rx-scrabble: the Scrabble puzzle on Reactive Extensions (Table 1).
+
+Focus: streaming.  The same Scrabble scoring as :mod:`scrabble`, but
+through a push-based observable pipeline: an observable source emits
+words to a chain of operator objects (map/filter/subscriber), each hop a
+virtual ``onNext`` dispatch — the Rx flavor whose MHS sensitivity is
+smaller than the pull-based Streams version, as in the paper (1% vs 22%).
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+interface Observer {
+    def onNext(value);
+}
+
+class MapOperator implements Observer {
+    var fn;
+    var downstream;
+
+    def init(fn, downstream) {
+        this.fn = fn;
+        this.downstream = downstream;
+    }
+
+    def onNext(value) {
+        var f = this.fn;
+        return this.downstream.onNext(f(value));
+    }
+}
+
+class FilterOperator implements Observer {
+    var pred;
+    var downstream;
+
+    def init(pred, downstream) {
+        this.pred = pred;
+        this.downstream = downstream;
+    }
+
+    def onNext(value) {
+        var p = this.pred;
+        if (p(value)) {
+            return this.downstream.onNext(value);
+        }
+        return 0;
+    }
+}
+
+class MaxSubscriber implements Observer {
+    var best;
+
+    def init() { this.best = 0; }
+
+    def onNext(value) {
+        if (value > this.best) {
+            this.best = value;
+        }
+        return value;
+    }
+}
+
+class RxScrabble {
+    var words;        // ref array of letter-code arrays
+    var scores;
+
+    def init(n) {
+        this.scores = new int[26];
+        var values = "1332142418513113a1114484a1";
+        var i = 0;
+        while (i < 26) {
+            var c = Str.charAt(values, i);
+            if (c == 'a') { this.scores[i] = 10; }
+            else { this.scores[i] = c - '0'; }
+            i = i + 1;
+        }
+        var syllables = "theforandwithfromhavethisthatwillyourwhenwhat";
+        var r = new Random(5);
+        this.words = new ref[n];
+        i = 0;
+        while (i < n) {
+            var a = r.nextInt(30);
+            var w = new int[7];
+            var j = 0;
+            while (j < 7) {
+                w[j] = Str.charAt(syllables, a + (j % 5)) - 'a';
+                j = j + 1;
+            }
+            this.words[i] = w;
+            i = i + 1;
+        }
+    }
+
+    def score(word) {
+        var acc = 0;
+        var n = len(word);
+        var i = 0;
+        while (i < n) {
+            acc = acc + this.scores[word[i]];
+            i = i + 1;
+        }
+        return acc;
+    }
+
+    def play() {
+        var self = this;
+        var sink = new MaxSubscriber();
+        var chain = new MapOperator(fun (w) self.score(w),
+                     new FilterOperator(fun (s) s > 4, sink));
+        var i = 0;
+        var n = len(this.words);
+        while (i < n) {
+            chain.onNext(this.words[i]);
+            i = i + 1;
+        }
+        return sink.best;
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new RxScrabble(n);
+        }
+        var rx = cast(RxScrabble, Bench.cached);
+        var acc = 0;
+        var round = 0;
+        while (round < 10) {
+            acc = acc + rx.play();
+            round = round + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="rx-scrabble",
+    suite="renaissance",
+    source=SOURCE,
+    description="Scrabble scoring through a push-based observable "
+                "operator chain",
+    focus="streaming",
+    args=(110,),
+    warmup=5,
+    measure=4,
+)
+"""Operator chaining note: the FilterOperator is constructed inline as
+the MapOperator's downstream argument — a nested `new` expression."""

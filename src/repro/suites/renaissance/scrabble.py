@@ -1,0 +1,123 @@
+"""scrabble: J. Paumard's Shakespeare-plays-Scrabble puzzle with
+Java-8-style Streams (Table 1).
+
+Focus: data-parallel, memory-bound.  Every pipeline stage takes a
+lambda, so after ``Stream.map``/``filter``/``reduce`` inline into the
+hot method the handle calls become constant — the Method-Handle
+Simplification (MHS) headline (paper: ≈22% impact), including the
+per-character histogram lambda the paper dissects in Section 5.4.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class Scrabble {
+    var words;        // ArrayList of strings
+    var scores;       // letter scores ('a'..'z')
+
+    def init(n) {
+        this.scores = new int[26];
+        var values = "1332142418513113a1114484a1";   // 'a' means 10
+        var i = 0;
+        while (i < 26) {
+            var c = Str.charAt(values, i);
+            if (c == 'a') { this.scores[i] = 10; }
+            else { this.scores[i] = c - '0'; }
+            i = i + 1;
+        }
+        this.words = new ArrayList();
+        var syllables = "theforandwithfromhavethisthatwillyourwhenwhat";
+        var r = new Random(5);
+        i = 0;
+        while (i < n) {
+            var a = r.nextInt(30);
+            var b = r.nextInt(30);
+            // Words are letter-code arrays (as String.chars() exposes).
+            var w = new int[9];
+            var j = 0;
+            while (j < 5) {
+                w[j] = Str.charAt(syllables, a + j) - 'a';
+                j = j + 1;
+            }
+            j = 0;
+            while (j < 4) {
+                w[5 + j] = Str.charAt(syllables, b + j) - 'a';
+                j = j + 1;
+            }
+            this.words.add(w);
+            i = i + 1;
+        }
+    }
+
+    // The lambda the paper profiles: per-word letter histogram.
+    def histogramScore(word) {
+        var hist = new int[26];
+        var i = 0;
+        var n = len(word);
+        while (i < n) {
+            var c = word[i];
+            if (c >= 0) {
+                if (c < 26) { hist[c] = hist[c] + 1; }
+            }
+            i = i + 1;
+        }
+        var score = 0;
+        i = 0;
+        while (i < 26) {
+            var have = hist[i];
+            if (have > 2) { have = 2; }     // only 2 blanks available
+            score = score + have * this.scores[i];
+            i = i + 1;
+        }
+        return score;
+    }
+
+    def best() {
+        var self = this;
+        return Stream.of(this.words)
+            .map(fun (w) self.histogramScore(w))
+            .filter(fun (s) s > 5)
+            .reduce(0, fun (a, b) {
+                if (b > a) { return b; }
+                return a;
+            });
+    }
+
+    def total() {
+        var self = this;
+        return Stream.of(this.words)
+            .map(fun (w) self.histogramScore(w))
+            .sum();
+    }
+}
+
+class Bench {
+    static var game = null;
+
+    static def run(n) {
+        if (Bench.game == null) {
+            Bench.game = new Scrabble(n);
+        }
+        var g = cast(Scrabble, Bench.game);
+        var acc = 0;
+        var round = 0;
+        while (round < 10) {
+            acc = acc + g.best() * 7 + g.total();
+            round = round + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="scrabble",
+    suite="renaissance",
+    source=SOURCE,
+    description="Scrabble scoring over a word corpus with lambda-driven "
+                "stream pipelines",
+    focus="data-parallel, memory-bound",
+    args=(90,),
+    warmup=6,
+    measure=4,
+)

@@ -1,0 +1,145 @@
+"""stm-bench7: the STMBench7 workload on ScalaSTM (Table 1).
+
+Focus: STM, atomics.  A CAD-like assembly structure (modules containing
+atomic parts with STM-managed attributes) is traversed and mutated by
+concurrent transactions of three kinds — read-heavy traversals, short
+part updates, and structural hot-spot updates — following STMBench7's
+operation mix.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class Part {
+    var value;        // STMRef
+    var weight;       // STMRef
+
+    def init(seed) {
+        this.value = new STMRef(seed % 100);
+        this.weight = new STMRef(seed % 7 + 1);
+    }
+}
+
+class Module {
+    var parts;        // ref array of Part
+
+    def init(count, seed) {
+        this.parts = new ref[count];
+        var i = 0;
+        while (i < count) {
+            this.parts[i] = new Part(seed * 31 + i);
+            i = i + 1;
+        }
+    }
+}
+
+class Bench7 {
+    var modules;      // ref array of Module
+    var moduleCount;
+    var partsPerModule;
+
+    def init(moduleCount, partsPerModule) {
+        this.moduleCount = moduleCount;
+        this.partsPerModule = partsPerModule;
+        this.modules = new ref[moduleCount];
+        var i = 0;
+        while (i < moduleCount) {
+            this.modules[i] = new Module(partsPerModule, i);
+            i = i + 1;
+        }
+    }
+
+    // T1: read-only traversal of one module.
+    def traverse(m) {
+        var module = cast(Module, this.modules[m]);
+        return STM.atomic(fun (txn) {
+            var acc = 0;
+            var i = 0;
+            while (i < len(module.parts)) {
+                var part = cast(Part, module.parts[i]);
+                acc = acc + txn.read(part.value) * txn.read(part.weight);
+                i = i + 1;
+            }
+            return acc;
+        });
+    }
+
+    // T2: short update of a single part.
+    def updatePart(m, p) {
+        var module = cast(Module, this.modules[m]);
+        var part = cast(Part, module.parts[p]);
+        return STM.atomic(fun (txn) {
+            var v = txn.read(part.value);
+            txn.write(part.value, (v + 7) % 100);
+            return v;
+        });
+    }
+
+    // T3: hot-spot update touching the first part of every module.
+    def rebalance() {
+        var self = this;
+        return STM.atomic(fun (txn) {
+            var acc = 0;
+            var m = 0;
+            while (m < self.moduleCount) {
+                var module = cast(Module, self.modules[m]);
+                var part = cast(Part, module.parts[0]);
+                var w = txn.read(part.weight);
+                txn.write(part.weight, w % 7 + 1);
+                acc = acc + w;
+                m = m + 1;
+            }
+            return acc;
+        });
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var bench = new Bench7(4, 8);
+        var pool = new ThreadPool(4);
+        var latch = new CountDownLatch(4);
+        var total = new AtomicLong(0);
+        var w = 0;
+        while (w < 4) {
+            var wid = w;
+            pool.execute(fun () {
+                var acc = 0;
+                var op = 0;
+                while (op < n) {
+                    var kind = (op + wid) % 10;
+                    if (kind < 6) {
+                        acc = acc + bench.traverse((op + wid) % 4);
+                    } else {
+                        if (kind < 9) {
+                            acc = acc + bench.updatePart(op % 4, op % 8);
+                        } else {
+                            acc = acc + bench.rebalance();
+                        }
+                    }
+                    op = op + 1;
+                }
+                total.getAndAdd(acc % 1000003);
+                latch.countDown();
+            });
+            w = w + 1;
+        }
+        latch.await();
+        pool.shutdown();
+        return STM.commits.get() % 100000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="stm-bench7",
+    suite="renaissance",
+    source=SOURCE,
+    description="STMBench7-style operation mix: transactional "
+                "traversals, part updates and hot-spot rebalances",
+    focus="STM, atomics",
+    args=(50,),
+    warmup=5,
+    measure=4,
+    deterministic=False,
+)

@@ -1,0 +1,145 @@
+"""streams-mnemonics: phone-number mnemonics with streams (Table 1).
+
+Focus: data-parallel, memory-bound.  Candidate encodings are modelled as
+a small class hierarchy; the classification pass re-tests ``instanceof``
+on the same value after merges — Section 5.7's repeated-check pattern,
+the Dominance-Based Duplication Simulation (DS) headline (paper: ≈22%
+impact), with stream pipelines on top (some MHS/DS interplay, as in the
+paper's Figure 5 row).
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class Token { def init() { } }
+class WordToken extends Token {
+    var word;        // letter-code array
+    def init(word) { this.word = word; }
+}
+class DigitToken extends Token {
+    var digit;
+    def init(digit) { this.digit = digit; }
+}
+
+class Mnemonics {
+    var tokens;       // ArrayList of Token
+    var acc;
+
+    def init(n) {
+        this.acc = 0;
+        this.tokens = new ArrayList();
+        var words = "maptreecodejavarunsfastheapnodelistcallsite";
+        var r = new Random(17);
+        var i = 0;
+        while (i < n) {
+            if (r.nextInt(3) == 0) {
+                this.tokens.add(new DigitToken(r.nextInt(10)));
+            } else {
+                var a = (r.nextInt(38)) % 38;
+                var w = new int[4];
+                var j = 0;
+                while (j < 4) {
+                    w[j] = Str.charAt(words, a + j) - 'a';
+                    j = j + 1;
+                }
+                this.tokens.add(new WordToken(w));
+            }
+            i = i + 1;
+        }
+    }
+
+    def wordValue(w) {
+        // digit for each letter, phone-keypad style.
+        var total = 0;
+        var i = 0;
+        var n = len(w);
+        while (i < n) {
+            var c = w[i];
+            total = total * 10 + (c / 3 + 2) % 10;
+            i = i + 1;
+        }
+        return total;
+    }
+
+    // The DS pattern: the same instanceof re-tested after merges.
+    def classify(t) {
+        if (t instanceof WordToken) {
+            this.acc = this.acc + 1;
+        } else {
+            this.acc = this.acc + 2;
+        }
+        if (t instanceof WordToken) {
+            var w = cast(WordToken, t);
+            this.acc = this.acc + this.wordValue(w.word) % 97;
+        }
+        if (t instanceof WordToken) {
+            this.acc = this.acc + 3;
+        } else {
+            var d = cast(DigitToken, t);
+            this.acc = this.acc + d.digit;
+        }
+        if (t instanceof WordToken) {
+            this.acc = this.acc + 7;
+        }
+        if (t instanceof WordToken) {
+            this.acc = this.acc - 2;
+        } else {
+            this.acc = this.acc + 5;
+        }
+        return this.acc;
+    }
+
+    def encodeAll() {
+        var self = this;
+        var i = 0;
+        var last = 0;
+        while (i < this.tokens.size()) {
+            last = self.classify(this.tokens.get(i));
+            i = i + 1;
+        }
+        return last;
+    }
+
+    def streamPass() {
+        var self = this;
+        return Stream.of(this.tokens)
+            .filter(fun (t) t instanceof WordToken)
+            .map(fun (t) self.wordValue(cast(WordToken, t).word))
+            .reduce(0, fun (a, b) (a + b) % 1000003);
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new Mnemonics(n);
+        }
+        var m = cast(Mnemonics, Bench.cached);
+        m.acc = 0;
+        var acc = 0;
+        var round = 0;
+        while (round < 10) {
+            acc = (acc + m.encodeAll()) % 1000000007;
+            if (round == 0) {
+                acc = (acc + m.streamPass()) % 1000000007;
+            }
+            round = round + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="streams-mnemonics",
+    suite="renaissance",
+    source=SOURCE,
+    description="Phone mnemonics: token classification with repeated "
+                "instanceof checks plus stream pipelines",
+    focus="data-parallel, memory-bound",
+    args=(300,),
+    warmup=6,
+    measure=4,
+)

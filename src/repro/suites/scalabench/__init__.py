@@ -1,0 +1,11 @@
+"""ScalaBench-like workloads (paper Table 6, 12 benchmarks).
+
+ScalaBench's published profile (paper Table 7 / Section 8): functional
+Scala programs with *much* higher object-allocation rates than Java
+(short-lived immutable objects everywhere), deep method-call chains,
+modest CPU utilization, and almost no modern concurrency primitives.
+The reproductions allocate aggressively — immutable list cells, tuples,
+small case-class-like records — with single-threaded control flow.
+"""
+
+from repro.suites.scalabench.workloads import benchmarks

@@ -1,0 +1,551 @@
+"""The 12 ScalaBench-like benchmark definitions.
+
+A small functional core (immutable cons lists, tuples, fold/map written
+as recursive methods — no lambdas, matching the suite's pre-invokedynamic
+vintage) is shared by several workloads; each benchmark layers its own
+domain logic on top, always in the allocation-heavy style the paper
+attributes to Scala code.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+# Immutable cons-list core, shared by the workloads below.
+_CORE = r"""
+class Cons {
+    var head;
+    var tail;
+    def init(head, tail) { this.head = head; this.tail = tail; }
+}
+
+class Lists {
+    static def range(lo, hi) {
+        var out = null;
+        var i = hi - 1;
+        while (i >= lo) {
+            out = new Cons(i, out);
+            i = i - 1;
+        }
+        return out;
+    }
+
+    static def length(list) {
+        var n = 0;
+        var cur = list;
+        while (cur != null) {
+            n = n + 1;
+            cur = cur.tail;
+        }
+        return n;
+    }
+
+    static def reverse(list) {
+        var out = null;
+        var cur = list;
+        while (cur != null) {
+            out = new Cons(cur.head, out);
+            cur = cur.tail;
+        }
+        return out;
+    }
+
+    // mapAddMod: fresh list of (x * k + c) % m — allocation per element.
+    static def mapAffine(list, k, c, m) {
+        var out = null;
+        var cur = list;
+        while (cur != null) {
+            out = new Cons((cur.head * k + c) % m, out);
+            cur = cur.tail;
+        }
+        return Lists.reverse(out);
+    }
+
+    static def sumMod(list, m) {
+        var acc = 0;
+        var cur = list;
+        while (cur != null) {
+            acc = (acc + cur.head) % m;
+            cur = cur.tail;
+        }
+        return acc;
+    }
+}
+"""
+
+_ACTORS = _CORE + r"""
+// actors: lightweight mailbox ping-pong (low rates, as in the suite).
+class Mailbox {
+    var queue;
+    def init() { this.queue = new BlockingQueue(16); }
+}
+
+class Bench {
+    static def run(n) {
+        var a = new Mailbox();
+        var b = new Mailbox();
+        var t = new Thread(fun () {
+            var k = 0;
+            while (k < n) {
+                var msg = a.queue.take();
+                b.queue.put(msg + 1);
+                k = k + 1;
+            }
+        });
+        t.daemon = true;
+        t.start();
+        var acc = 0;
+        var k = 0;
+        while (k < n) {
+            a.queue.put(k);
+            acc = (acc + b.queue.take()) % 1000003;
+            k = k + 1;
+        }
+        t.join();
+        return acc;
+    }
+}
+"""
+
+_APPARAT = _CORE + r"""
+// apparat: bytecode-block transformation over int arrays.
+class Bench {
+    static def run(n) {
+        var code = new int[256];
+        var i = 0;
+        while (i < 256) {
+            code[i] = (i * 37 + 11) % 200;
+            i = i + 1;
+        }
+        var acc = 0;
+        var pass = 0;
+        while (pass < n) {
+            var blocks = null;
+            i = 0;
+            while (i < 256) {
+                if (code[i] % 17 == 0) {
+                    blocks = new Cons(i, blocks);
+                }
+                i = i + 1;
+            }
+            var mapped = Lists.mapAffine(blocks, 31, pass, 1000003);
+            acc = (acc + Lists.sumMod(mapped, 1000003)) % 1000003;
+            pass = pass + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_FACTORIE = _CORE + r"""
+// factorie: inference sweeps allocating factor/assignment records —
+// the extreme allocation rate the paper reports (7.4E9 objects).
+class Factor {
+    var varA;
+    var varB;
+    var score;
+    def init(varA, varB, score) {
+        this.varA = varA;
+        this.varB = varB;
+        this.score = score;
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var assignment = new int[24];
+        var acc = 0;
+        var sweep = 0;
+        while (sweep < n) {
+            var factors = null;
+            var i = 0;
+            while (i < 24) {
+                var f = new Factor(i, (i + 1) % 24,
+                                   (assignment[i] * 3 + sweep) % 7);
+                factors = new Cons(f, factors);
+                i = i + 1;
+            }
+            var cur = factors;
+            while (cur != null) {
+                var f = cast(Factor, cur.head);
+                assignment[f.varA] = (assignment[f.varA] + f.score) % 5;
+                acc = (acc + f.score) % 1000003;
+                cur = cur.tail;
+            }
+            sweep = sweep + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_KIAMA = _CORE + r"""
+// kiama: rewriting immutable term trees (fresh nodes per rewrite).
+class Term {
+    var op;
+    var left;
+    var right;
+    def init(op, left, right) {
+        this.op = op;
+        this.left = left;
+        this.right = right;
+    }
+}
+
+class Bench {
+    static def build(seed, depth) {
+        if (depth == 0) {
+            return new Term(seed % 5, null, null);
+        }
+        return new Term(seed % 3,
+                        Bench.build(seed * 3 + 1, depth - 1),
+                        Bench.build(seed * 7 + 2, depth - 1));
+    }
+
+    // Rewrite: op 0/1 swap children; leaves increment — fresh tree.
+    static def rewrite(t) {
+        if (t == null) { return null; }
+        if (t.left == null) {
+            return new Term((t.op + 1) % 5, null, null);
+        }
+        var l = Bench.rewrite(t.left);
+        var r = Bench.rewrite(t.right);
+        if (t.op == 0) {
+            return new Term(1, r, l);
+        }
+        return new Term(t.op, l, r);
+    }
+
+    static def checksum(t, acc) {
+        if (t == null) { return acc; }
+        var local = (acc * 31 + t.op) % 1000003;
+        local = Bench.checksum(t.left, local);
+        return Bench.checksum(t.right, local);
+    }
+
+    static def run(n) {
+        var acc = 0;
+        var round = 0;
+        while (round < n) {
+            var tree = Bench.build(round, 6);
+            tree = Bench.rewrite(tree);
+            tree = Bench.rewrite(tree);
+            acc = Bench.checksum(tree, acc);
+            round = round + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SCALAC = _CORE + r"""
+// scalac: compiler phases over symbol lists (typer-style passes).
+class SymRec {
+    var name;
+    var kind;
+    var hash;
+    def init(name, kind, hash) {
+        this.name = name;
+        this.kind = kind;
+        this.hash = hash;
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var unit = 0;
+        while (unit < n) {
+            var syms = null;
+            var i = 0;
+            while (i < 30) {
+                var name = "member" + ((unit * 31 + i) % 40);
+                syms = new Cons(new SymRec(name, i % 4, Str.hash(name)),
+                                syms);
+                i = i + 1;
+            }
+            // "typer": annotate and filter.
+            var typed = null;
+            var cur = syms;
+            while (cur != null) {
+                var s = cast(SymRec, cur.head);
+                if (s.kind != 3) {
+                    typed = new Cons(new SymRec(s.name, s.kind + 4,
+                                                s.hash % 977), typed);
+                }
+                cur = cur.tail;
+            }
+            cur = typed;
+            while (cur != null) {
+                acc = (acc + cast(SymRec, cur.head).hash) % 1000003;
+                cur = cur.tail;
+            }
+            unit = unit + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SCALAP = _CORE + r"""
+// scalap: class-file signature parsing (strings + cons lists).
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var sig = 0;
+        while (sig < n) {
+            var text = "Lscala/collection/Seq<Ljava/lang/String;>;I"
+                     + (sig % 13) + "V";
+            var parts = null;
+            var m = Str.len(text);
+            var start = 0;
+            var i = 0;
+            while (i < m) {
+                var ch = Str.charAt(text, i);
+                if (ch == ';') {
+                    parts = new Cons(Str.sub(text, start, i), parts);
+                    start = i + 1;
+                }
+                i = i + 1;
+            }
+            var cur = parts;
+            while (cur != null) {
+                acc = (acc + Str.len(cur.head)) % 1000003;
+                cur = cur.tail;
+            }
+            sig = sig + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SCALARIFORM = _CORE + r"""
+// scalariform: pretty-printing token streams.
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var file = 0;
+        while (file < n) {
+            var tokens = Lists.range(0, 60);
+            var indent = 0;
+            var out = 0;
+            var cur = tokens;
+            while (cur != null) {
+                var tok = cur.head;
+                if (tok % 11 == 0) { indent = indent + 2; }
+                if (tok % 13 == 0) {
+                    if (indent >= 2) { indent = indent - 2; }
+                }
+                out = (out * 31 + tok + indent) % 1000003;
+                cur = cur.tail;
+            }
+            acc = (acc + out) % 1000003;
+            file = file + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SCALADOC = _CORE + r"""
+// scaladoc: documentation model building (strings + records).
+class DocEntry {
+    var name;
+    var comment;
+    def init(name, comment) { this.name = name; this.comment = comment; }
+}
+
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var page = 0;
+        while (page < n) {
+            var entries = null;
+            var i = 0;
+            while (i < 20) {
+                var name = "def method" + i + "(x: Int): Int";
+                var comment = "Returns " + i + " * x for page " + page;
+                entries = new Cons(new DocEntry(name, comment), entries);
+                i = i + 1;
+            }
+            var cur = entries;
+            while (cur != null) {
+                var e = cast(DocEntry, cur.head);
+                acc = (acc + Str.len(e.name) + Str.len(e.comment)) % 1000003;
+                cur = cur.tail;
+            }
+            page = page + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SCALATEST = _CORE + r"""
+// scalatest: many tiny assertion methods (call-dense, tiny frames).
+class Asserts {
+    def assertEquals(a, b) {
+        if (a == b) { return 1; }
+        return 0;
+    }
+    def assertTrue(x) {
+        if (x) { return 1; }
+        return 0;
+    }
+    def assertInRange(x, lo, hi) {
+        return this.assertTrue(x >= lo) * this.assertTrue(x <= hi);
+    }
+}
+
+class Bench {
+    static def run(n) {
+        var a = new Asserts();
+        var passed = 0;
+        var test = 0;
+        while (test < n) {
+            passed = passed + a.assertEquals(test % 7, test % 7);
+            passed = passed + a.assertTrue(test >= 0);
+            passed = passed + a.assertInRange(test % 100, 0, 99);
+            passed = passed + a.assertEquals(test % 3, (test + 3) % 3);
+            test = test + 1;
+        }
+        return passed;
+    }
+}
+"""
+
+_SCALAXB = _CORE + r"""
+// scalaxb: XML-schema binding generation (string assembly).
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var schema = 0;
+        while (schema < n) {
+            var fields = null;
+            var i = 0;
+            while (i < 12) {
+                fields = new Cons("field" + i + ": Type" + (i % 5), fields);
+                i = i + 1;
+            }
+            var code = "case class Gen" + schema + "(";
+            var cur = fields;
+            while (cur != null) {
+                code = code + cur.head + ", ";
+                cur = cur.tail;
+            }
+            code = code + ")";
+            acc = (acc + Str.len(code) + Str.hash(code) % 97) % 1000003;
+            schema = schema + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SPECS = _CORE + r"""
+// specs: BDD-style specification execution (records + closures-free).
+class SpecResult {
+    var label;
+    var ok;
+    def init(label, ok) { this.label = label; this.ok = ok; }
+}
+
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var suite = 0;
+        while (suite < n) {
+            var results = null;
+            var ex = 0;
+            while (ex < 16) {
+                var value = (suite * 31 + ex * 7) % 100;
+                var ok = 0;
+                if (value % 2 == 0) { ok = 1; }
+                results = new Cons(
+                    new SpecResult("example " + ex + " should hold", ok),
+                    results);
+                ex = ex + 1;
+            }
+            var cur = results;
+            while (cur != null) {
+                var r = cast(SpecResult, cur.head);
+                acc = (acc + r.ok * Str.len(r.label)) % 1000003;
+                cur = cur.tail;
+            }
+            suite = suite + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_TMT = _CORE + r"""
+// tmt: topic-model training sweeps (double arrays + record churn).
+class Bench {
+    static def run(n) {
+        var topics = 8;
+        var words = 40;
+        var counts = new double[topics * words];
+        var r = new PlainRandom(99);
+        var i = 0;
+        while (i < topics * words) {
+            counts[i] = r.nextDouble() + 0.1;
+            i = i + 1;
+        }
+        var acc = 0.0;
+        var sweep = 0;
+        while (sweep < n) {
+            var w = 0;
+            while (w < words) {
+                var norm = 0.0;
+                var t = 0;
+                while (t < topics) {
+                    norm = norm + counts[t * words + w];
+                    t = t + 1;
+                }
+                t = 0;
+                while (t < topics) {
+                    var p = counts[t * words + w] / norm;
+                    counts[t * words + w] = p * 0.9 + 0.0125;
+                    acc = acc + p * p;
+                    t = t + 1;
+                }
+                w = w + 1;
+            }
+            sweep = sweep + 1;
+        }
+        return d2i(acc * 1000.0);
+    }
+}
+"""
+
+
+def _bench(name, source, arg, description):
+    return GuestBenchmark(
+        name=name,
+        suite="scalabench",
+        source=source,
+        description=description,
+        focus="functional, allocation-heavy",
+        args=(arg,),
+        warmup=4,
+        measure=4,
+    )
+
+
+def benchmarks():
+    return [
+        _bench("actors", _ACTORS, 250, "mailbox ping-pong pair"),
+        _bench("apparat", _APPARAT, 90, "bytecode-block transformation"),
+        _bench("factorie", _FACTORIE, 350,
+               "inference sweeps with per-factor allocation"),
+        _bench("kiama", _KIAMA, 22, "immutable term-tree rewriting"),
+        _bench("scalac", _SCALAC, 90, "typer-style symbol passes"),
+        _bench("scaladoc", _SCALADOC, 90, "doc model building"),
+        _bench("scalap", _SCALAP, 220, "signature parsing"),
+        _bench("scalariform", _SCALARIFORM, 160,
+               "token-stream pretty-printing"),
+        _bench("scalatest", _SCALATEST, 900, "assertion-dense test runs"),
+        _bench("scalaxb", _SCALAXB, 120, "schema binding generation"),
+        _bench("specs", _SPECS, 120, "BDD specification execution"),
+        _bench("tmt", _TMT, 35, "topic-model training sweeps"),
+    ]

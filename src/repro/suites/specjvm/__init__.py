@@ -1,0 +1,16 @@
+"""SPECjvm2008-like workloads (paper Table 6, 21 benchmarks).
+
+SPECjvm2008's published profile (paper Table 7): compute-bound numeric
+kernels, very high CPU utilization (the harness keeps every core busy
+with independent operations), near-zero concurrency-primitive usage,
+and small code footprints (Figure 7).  The reproductions follow that
+recipe: each benchmark runs its kernel on several independent threads
+with no shared mutable state, using the non-atomic :class:`PlainRandom`.
+
+The scimark kernels are real implementations of FFT, LU factorization,
+successive over-relaxation, sparse mat-vec and Monte-Carlo π — the
+loop shapes that make speculative guard motion dominate Table 15
+(lu.small: +137%).
+"""
+
+from repro.suites.specjvm.workloads import benchmarks

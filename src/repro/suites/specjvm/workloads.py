@@ -1,0 +1,641 @@
+"""The 21 SPECjvm2008-like benchmark definitions."""
+
+from repro.harness.core import GuestBenchmark
+
+# Shared driver: every SPECjvm operation runs on 4 independent threads
+# with no shared mutable state (the SPECjvm harness keeps all cores
+# busy), summing per-thread checksums through one atomic at the end.
+_DRIVER = r"""
+class Bench {
+    static def run(n) {
+        var latch = new CountDownLatch(4);
+        var total = new AtomicLong(0);
+        var w = 0;
+        while (w < 4) {
+            var wid = w;
+            var t = new Thread(fun () {
+                total.getAndAdd(Kernel.operate(n, wid) % 1000003);
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            w = w + 1;
+        }
+        latch.await();
+        return total.get();
+    }
+}
+"""
+
+_FFT = r"""
+class Kernel {
+    // Iterative radix-2 FFT (scimark.fft): bit-reversal + butterflies.
+    static def operate(n, wid) {
+        var re = new double[n];
+        var im = new double[n];
+        var r = new PlainRandom(wid + 42);
+        var i = 0;
+        while (i < n) {
+            re[i] = r.nextDouble();
+            im[i] = 0.0;
+            i = i + 1;
+        }
+        // Bit reversal permutation.
+        var j = 0;
+        i = 0;
+        while (i < n - 1) {
+            if (i < j) {
+                var tr = re[i]; re[i] = re[j]; re[j] = tr;
+                var ti = im[i]; im[i] = im[j]; im[j] = ti;
+            }
+            var k = n / 2;
+            while (k <= j) {
+                j = j - k;
+                k = k / 2;
+            }
+            j = j + k;
+            i = i + 1;
+        }
+        // Butterflies.
+        var len = 2;
+        while (len <= n) {
+            var ang = 6.283185307179586 / i2d(len);
+            var wr = Math.cos(ang);
+            var wi = Math.sin(ang);
+            var base = 0;
+            while (base < n) {
+                var cr = 1.0;
+                var ci = 0.0;
+                var off = 0;
+                while (off < len / 2) {
+                    var p = base + off;
+                    var q = p + len / 2;
+                    var xr = re[q] * cr - im[q] * ci;
+                    var xi = re[q] * ci + im[q] * cr;
+                    re[q] = re[p] - xr;
+                    im[q] = im[p] - xi;
+                    re[p] = re[p] + xr;
+                    im[p] = im[p] + xi;
+                    var ncr = cr * wr - ci * wi;
+                    ci = cr * wi + ci * wr;
+                    cr = ncr;
+                    off = off + 1;
+                }
+                base = base + len;
+            }
+            len = len * 2;
+        }
+        return d2i((re[0] + im[n / 2]) * 1000.0);
+    }
+}
+"""
+
+_LU = r"""
+class Kernel {
+    // In-place LU factorization (scimark.lu): the triple loop whose
+    // bounds checks make GM the dominant optimization (Table 15).
+    static def operate(n, wid) {
+        var a = new double[n * n];
+        var r = new PlainRandom(wid * 7 + 5);
+        var i = 0;
+        while (i < n * n) {
+            a[i] = r.nextDouble() + 0.001;
+            i = i + 1;
+        }
+        i = 0;
+        while (i < n) {
+            a[i * n + i] = a[i * n + i] + i2d(n);   // diagonal dominance
+            i = i + 1;
+        }
+        var k = 0;
+        while (k < n) {
+            var pivot = a[k * n + k];
+            var row = k + 1;
+            while (row < n) {
+                var factor = a[row * n + k] / pivot;
+                a[row * n + k] = factor;
+                var col = k + 1;
+                while (col < n) {
+                    a[row * n + col] = a[row * n + col]
+                                     - factor * a[k * n + col];
+                    col = col + 1;
+                }
+                row = row + 1;
+            }
+            k = k + 1;
+        }
+        var trace = 0.0;
+        i = 0;
+        while (i < n) {
+            trace = trace + a[i * n + i];
+            i = i + 1;
+        }
+        return d2i(trace * 100.0);
+    }
+}
+"""
+
+_SOR = r"""
+class Kernel {
+    // Successive over-relaxation stencil (scimark.sor).
+    static def operate(n, wid) {
+        var g = new double[n * n];
+        var r = new PlainRandom(wid + 9);
+        var i = 0;
+        while (i < n * n) {
+            g[i] = r.nextDouble();
+            i = i + 1;
+        }
+        var sweep = 0;
+        while (sweep < 4) {
+            var row = 1;
+            while (row < n - 1) {
+                var base = row * n;
+                var col = 1;
+                while (col < n - 1) {
+                    g[base + col] = 0.3125 * (g[base - n + col]
+                        + g[base + n + col] + g[base + col - 1]
+                        + g[base + col + 1]) - 0.25 * g[base + col];
+                    col = col + 1;
+                }
+                row = row + 1;
+            }
+            sweep = sweep + 1;
+        }
+        return d2i(g[n + 1] * 100000.0);
+    }
+}
+"""
+
+_SPARSE = r"""
+class Kernel {
+    // Sparse matrix-vector multiply, CRS layout (scimark.sparse).
+    static def operate(n, wid) {
+        var nz = n * 4;
+        var values = new double[nz];
+        var cols = new int[nz];
+        var rowptr = new int[n + 1];
+        var x = new double[n];
+        var y = new double[n];
+        var r = new PlainRandom(wid + 31);
+        var i = 0;
+        while (i < n) {
+            x[i] = r.nextDouble();
+            rowptr[i] = i * 4;
+            i = i + 1;
+        }
+        rowptr[n] = nz;
+        i = 0;
+        while (i < nz) {
+            values[i] = r.nextDouble();
+            cols[i] = r.nextInt(n);
+            i = i + 1;
+        }
+        var pass = 0;
+        while (pass < 6) {
+            var row = 0;
+            while (row < n) {
+                var acc = 0.0;
+                var idx = rowptr[row];
+                var last = rowptr[row + 1];
+                while (idx < last) {
+                    acc = acc + values[idx] * x[cols[idx]];
+                    idx = idx + 1;
+                }
+                y[row] = acc;
+                row = row + 1;
+            }
+            pass = pass + 1;
+        }
+        return d2i(y[0] * 100000.0 + y[n - 1] * 1000.0);
+    }
+}
+"""
+
+_MONTE_CARLO = r"""
+class Kernel {
+    // Monte-Carlo pi (scimark.monte_carlo): tight RNG loop.
+    static def operate(n, wid) {
+        var r = new PlainRandom(wid * 13 + 3);
+        var hits = 0;
+        var i = 0;
+        while (i < n) {
+            var x = r.nextDouble();
+            var y = r.nextDouble();
+            if (x * x + y * y <= 1.0) {
+                hits = hits + 1;
+            }
+            i = i + 1;
+        }
+        return hits * 4000 / n;
+    }
+}
+"""
+
+_COMPRESS = r"""
+class Kernel {
+    // LZW-flavoured byte compression over int arrays (compress).
+    static def operate(n, wid) {
+        var data = new int[n];
+        var r = new PlainRandom(wid + 77);
+        var i = 0;
+        while (i < n) {
+            data[i] = r.nextInt(64);
+            i = i + 1;
+        }
+        var table = new int[4096];
+        var out = 0;
+        var prev = 0;
+        i = 0;
+        while (i < n) {
+            var sym = data[i];
+            var code = ((prev << 6) ^ sym) & 4095;
+            if (table[code] == 0) {
+                table[code] = code + 1;
+                out = out + 1;
+            }
+            prev = (prev + sym) & 63;
+            i = i + 1;
+        }
+        return out * 1000 + prev;
+    }
+}
+"""
+
+_AES = r"""
+class Kernel {
+    // Round-based block mixing (crypto.aes): xor/shift/sbox loops.
+    static def operate(n, wid) {
+        var sbox = new int[256];
+        var i = 0;
+        while (i < 256) {
+            sbox[i] = (i * 167 + 13) & 255;
+            i = i + 1;
+        }
+        var state = new int[16];
+        i = 0;
+        while (i < 16) {
+            state[i] = (wid * 31 + i * 7) & 255;
+            i = i + 1;
+        }
+        var block = 0;
+        var check = 0;
+        while (block < n) {
+            var round = 0;
+            while (round < 10) {
+                i = 0;
+                while (i < 16) {
+                    state[i] = sbox[state[i]] ^ ((round * 17 + i) & 255);
+                    i = i + 1;
+                }
+                i = 0;
+                while (i < 16) {
+                    state[i] = (state[i] + state[(i + 5) % 16]) & 255;
+                    i = i + 1;
+                }
+                round = round + 1;
+            }
+            check = (check + state[0]) & 65535;
+            block = block + 1;
+        }
+        return check;
+    }
+}
+"""
+
+_RSA = r"""
+class Kernel {
+    // Modular exponentiation, square-and-multiply (crypto.rsa).
+    static def operate(n, wid) {
+        var modulus = 1000000007;
+        var acc = 0;
+        var msg = 0;
+        while (msg < n) {
+            var base = (msg * 31 + wid * 7 + 12345) % modulus;
+            var exp = 65537;
+            var result = 1;
+            var b = base;
+            while (exp > 0) {
+                if ((exp & 1) == 1) {
+                    result = (result * b) % modulus;
+                }
+                b = (b * b) % modulus;
+                exp = exp >> 1;
+            }
+            acc = (acc + result) % modulus;
+            msg = msg + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SIGNVERIFY = r"""
+class Kernel {
+    // Hash-sign-verify cycles (crypto.signverify).
+    static def operate(n, wid) {
+        var ok = 0;
+        var doc = 0;
+        while (doc < n) {
+            var h = 7 + wid;
+            var i = 0;
+            while (i < 64) {
+                h = (h * 31 + ((doc * 64 + i) ^ (h >> 7))) % 1000003;
+                i = i + 1;
+            }
+            var sig = (h * 65537 + 99991) % 1000003;
+            var check = (h * 65537 + 99991) % 1000003;
+            if (sig == check) {
+                ok = ok + 1;
+            }
+            doc = doc + 1;
+        }
+        return ok;
+    }
+}
+"""
+
+_MPEGAUDIO = r"""
+class Kernel {
+    // Polyphase FIR filtering (mpegaudio).
+    static def operate(n, wid) {
+        var signal = new double[n];
+        var coeff = new double[32];
+        var r = new PlainRandom(wid + 21);
+        var i = 0;
+        while (i < n) {
+            signal[i] = r.nextDouble() - 0.5;
+            i = i + 1;
+        }
+        i = 0;
+        while (i < 32) {
+            coeff[i] = Math.sin(i2d(i) * 0.196);
+            i = i + 1;
+        }
+        var energy = 0.0;
+        i = 32;
+        while (i < n) {
+            var acc = 0.0;
+            var t = 0;
+            while (t < 32) {
+                acc = acc + signal[i - t] * coeff[t];
+                t = t + 1;
+            }
+            energy = energy + acc * acc;
+            i = i + 1;
+        }
+        return d2i(energy * 1000.0);
+    }
+}
+"""
+
+_DERBY = r"""
+class Kernel {
+    // Fixed-point decimal aggregation with grouping (derby).
+    static def operate(n, wid) {
+        var groups = new HashMap();
+        var row = 0;
+        while (row < n) {
+            var account = (row * 7 + wid) % 16;
+            var cents = (row * 3741 + wid * 17) % 100000;
+            var prev = groups.get(account);
+            if (prev == null) {
+                groups.put(account, cents);
+            } else {
+                groups.put(account, (prev + cents) % 1000000007);
+            }
+            row = row + 1;
+        }
+        var keys = groups.keys();
+        var acc = 0;
+        var i = 0;
+        while (i < keys.size()) {
+            acc = (acc + groups.get(keys.get(i))) % 1000000007;
+            i = i + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SERIAL = r"""
+class Kernel {
+    // Record serialization round-trip over strings (serial).
+    static def operate(n, wid) {
+        var acc = 0;
+        var rec = 0;
+        while (rec < n) {
+            var text = "id=" + (rec + wid) + ";qty=" + (rec % 97)
+                     + ";px=" + (rec * 13 % 1000);
+            var fields = Text.split(text, ';');
+            var f = 0;
+            while (f < fields.size()) {
+                var field = fields.get(f);
+                var eq = Str.indexOf(field, "=");
+                var value = Str.parseInt(
+                    Str.sub(field, eq + 1, Str.len(field)));
+                acc = (acc + value) % 1000003;
+                f = f + 1;
+            }
+            rec = rec + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_SUNFLOW_SPEC = r"""
+class Kernel {
+    // Ray-sphere intersection batches (sunflow).
+    static def operate(n, wid) {
+        var r = new PlainRandom(wid + 11);
+        var hits = 0;
+        var depth = 0.0;
+        var ray = 0;
+        while (ray < n) {
+            var ox = r.nextDouble() * 2.0 - 1.0;
+            var oy = r.nextDouble() * 2.0 - 1.0;
+            var dx = 0.1;
+            var dy = 0.1;
+            var dz = 1.0;
+            var b = ox * dx + oy * dy - dz * 2.0;
+            var c = ox * ox + oy * oy + 4.0 - 1.0;
+            var disc = b * b - c;
+            if (disc > 0.0) {
+                hits = hits + 1;
+                depth = depth + (0.0 - b) - Math.sqrt(disc);
+            }
+            ray = ray + 1;
+        }
+        return hits * 1000 + d2i(depth) % 1000;
+    }
+}
+"""
+
+_XML_TRANSFORM = r"""
+class Kernel {
+    // Tag rewriting over markup text (xml.transform).
+    static def operate(n, wid) {
+        var doc = "";
+        var i = 0;
+        while (i < 12) {
+            doc = doc + "<item id='" + i + "'><name>n" + i
+                + "</name><qty>" + (i * 3 % 7) + "</qty></item>";
+            i = i + 1;
+        }
+        var acc = 0;
+        var pass = 0;
+        while (pass < n) {
+            var out = 0;
+            var m = Str.len(doc);
+            var j = 0;
+            while (j < m) {
+                var ch = Str.charAt(doc, j);
+                if (ch == '<') {
+                    out = out + 1;
+                }
+                acc = (acc * 31 + ch) % 1000003;
+                j = j + 1;
+            }
+            acc = (acc + out) % 1000003;
+            pass = pass + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+_XML_VALIDATION = r"""
+class Kernel {
+    // Well-formedness checking: tag stack matching (xml.validation).
+    static def operate(n, wid) {
+        var doc = "";
+        var i = 0;
+        while (i < 10) {
+            doc = doc + "<a><b><c>x</c><d>y</d></b></a>";
+            i = i + 1;
+        }
+        var valid = 0;
+        var pass = 0;
+        while (pass < n) {
+            var depth = 0;
+            var maxDepth = 0;
+            var m = Str.len(doc);
+            var j = 0;
+            while (j < m) {
+                var ch = Str.charAt(doc, j);
+                if (ch == '<') {
+                    if (Str.charAt(doc, j + 1) == '/') {
+                        depth = depth - 1;
+                    } else {
+                        depth = depth + 1;
+                        if (depth > maxDepth) {
+                            maxDepth = depth;
+                        }
+                    }
+                }
+                j = j + 1;
+            }
+            if (depth == 0) {
+                valid = valid + 1;
+            }
+            pass = pass + maxDepth - 2;
+        }
+        return valid;
+    }
+}
+"""
+
+_COMPILER = r"""
+class ExprN { def init() { } }
+class NumN extends ExprN {
+    var value;
+    def init(value) { this.value = value; }
+}
+class BinN extends ExprN {
+    var op;
+    var lhs;
+    var rhs;
+    def init(op, lhs, rhs) { this.op = op; this.lhs = lhs; this.rhs = rhs; }
+}
+
+class Kernel {
+    static def parse(seed, depth) {
+        if (depth == 0) {
+            return new NumN(seed % 13);
+        }
+        return new BinN(seed % 3,
+                        Kernel.parse(seed * 3 + 1, depth - 1),
+                        Kernel.parse(seed * 5 + 2, depth - 1));
+    }
+
+    static def eval(node) {
+        if (node instanceof NumN) {
+            return cast(NumN, node).value;
+        }
+        var b = cast(BinN, node);
+        var l = Kernel.eval(b.lhs);
+        var r = Kernel.eval(b.rhs);
+        if (b.op == 0) { return (l + r) % 1000003; }
+        if (b.op == 1) { return (l * r + 1) % 1000003; }
+        return (l - r + 1000003) % 1000003;
+    }
+
+    static def operate(n, wid) {
+        var acc = 0;
+        var unit = 0;
+        while (unit < n) {
+            var tree = Kernel.parse(unit * 7 + wid, 5);
+            acc = (acc + Kernel.eval(tree)) % 1000003;
+            unit = unit + 1;
+        }
+        return acc;
+    }
+}
+"""
+
+
+def _bench(name: str, kernel: str, arg: int, description: str) -> GuestBenchmark:
+    return GuestBenchmark(
+        name=name,
+        suite="specjvm",
+        source=kernel + _DRIVER,
+        description=description,
+        focus="compute-bound",
+        args=(arg,),
+        warmup=4,
+        measure=4,
+    )
+
+
+def benchmarks() -> list[GuestBenchmark]:
+    return [
+        _bench("compiler.compiler", _COMPILER, 24,
+               "javac-style parse+eval over expression trees"),
+        _bench("compiler.sunflow", _COMPILER, 36,
+               "javac compiling the sunflow sources (larger units)"),
+        _bench("compress", _COMPRESS, 3000, "LZW-style compression loop"),
+        _bench("crypto.aes", _AES, 40, "AES-like round mixing"),
+        _bench("crypto.rsa", _RSA, 40, "modular exponentiation"),
+        _bench("crypto.signverify", _SIGNVERIFY, 140,
+               "hash-sign-verify cycles"),
+        _bench("derby", _DERBY, 900, "decimal aggregation with grouping"),
+        _bench("mpegaudio", _MPEGAUDIO, 400, "polyphase FIR filtering"),
+        _bench("scimark.fft.large", _FFT, 256, "radix-2 FFT, large input"),
+        _bench("scimark.fft.small", _FFT, 128, "radix-2 FFT, small input"),
+        _bench("scimark.lu.large", _LU, 26, "LU factorization, large"),
+        _bench("scimark.lu.small", _LU, 14, "LU factorization, small"),
+        _bench("scimark.monte_carlo", _MONTE_CARLO, 1500,
+               "Monte-Carlo pi estimation"),
+        _bench("scimark.sor.large", _SOR, 28, "SOR stencil, large grid"),
+        _bench("scimark.sor.small", _SOR, 18, "SOR stencil, small grid"),
+        _bench("scimark.sparse.large", _SPARSE, 240,
+               "sparse mat-vec, large"),
+        _bench("scimark.sparse.small", _SPARSE, 120,
+               "sparse mat-vec, small"),
+        _bench("serial", _SERIAL, 120, "record serialization round-trip"),
+        _bench("sunflow", _SUNFLOW_SPEC, 1800, "ray-sphere batches"),
+        _bench("xml.transform", _XML_TRANSFORM, 10, "tag rewriting"),
+        _bench("xml.validation", _XML_VALIDATION, 14,
+               "well-formedness checking"),
+    ]

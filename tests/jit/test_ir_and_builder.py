@@ -1,0 +1,162 @@
+"""Unit tests for the IR, graph builder, and loop analysis."""
+
+from repro.jvm.bytecode import Instr, Op
+from repro.jvm.classfile import ClassPool, JClass, JMethod
+from repro.jit.graph_builder import build_graph
+from repro.jit.ir import FrameState, Graph, Node
+from repro.jit.loops import compute_dominators, dominates, find_loops
+from repro.lang import compile_program
+
+
+def build_from_source(src, cls, method):
+    program = compile_program(src, include_stdlib=False)
+    pool = ClassPool()
+    for c in program.classes:
+        pool.define(c)
+    pool.link_all()
+    return build_graph(pool.get(cls).resolve_method(method), pool), pool
+
+
+def test_straightline_method_single_block():
+    graph, _ = build_from_source(
+        "class T { static def m(a, b) { return a * b + 1; } }", "T", "m")
+    body_blocks = [b for b in graph.blocks if b is not graph.entry]
+    assert len(body_blocks) == 1
+    ops = [n.op for n in body_blocks[0].nodes]
+    assert "mul" in ops and "add" in ops
+    assert body_blocks[0].terminator[0] == "return"
+
+
+def test_if_produces_branch_and_merge_phi():
+    graph, _ = build_from_source("""
+    class T { static def m(a) {
+        var x = 1;
+        if (a > 0) { x = 2; } else { x = 3; }
+        return x;
+    } }""", "T", "m")
+    phis = [p for b in graph.blocks for p in b.phis]
+    assert len(phis) == 1
+    assert len(phis[0].inputs) == 2
+    branches = [b for b in graph.blocks
+                if b.terminator and b.terminator[0] == "branch"]
+    assert len(branches) == 1
+
+
+def test_loop_produces_header_phi_and_back_edge():
+    graph, _ = build_from_source("""
+    class T { static def m(n) {
+        var s = 0;
+        var i = 0;
+        while (i < n) { s = s + i; i = i + 1; }
+        return s;
+    } }""", "T", "m")
+    loops = find_loops(graph)
+    assert len(loops) == 1
+    assert len(loops[0].header.phis) >= 2    # s and i
+
+
+def test_guards_emitted_for_array_access():
+    graph, _ = build_from_source("""
+    class T { static def m(a, i) { return a[i]; } }""", "T", "m")
+    guards = [n for b in graph.blocks for n in b.nodes if n.op == "guard"]
+    kinds = {g.extra.kind for g in guards}
+    assert "NullCheckException" in kinds
+    assert "BoundsCheckException" in kinds
+    for g in guards:
+        assert g.extra.state is not None
+        assert g.extra.state.method.name == "m"
+
+
+def test_no_null_guard_on_this():
+    graph, _ = build_from_source("""
+    class T { var f; def init() { this.f = 0; } def m() { return this.f; } }
+    """, "T", "m")
+    guards = [n for b in graph.blocks for n in b.nodes if n.op == "guard"]
+    assert guards == []
+
+
+def test_invoke_carries_callsite_framestate():
+    graph, _ = build_from_source("""
+    class T {
+        static def callee(x) { return x; }
+        static def m(a) { return T.callee(a + 1); }
+    }""", "T", "m")
+    invokes = [n for b in graph.blocks for n in b.nodes
+               if n.op == "invokestatic"]
+    assert len(invokes) == 1
+    state = invokes[0].value
+    assert isinstance(state, FrameState)
+    assert len(state.stack) == 1          # the argument, pre-pop
+
+
+def test_unreachable_code_dropped():
+    graph, _ = build_from_source("""
+    class T { static def m() {
+        while (true) {
+            if (1 == 2) { break; }
+        }
+        return 9;
+    } }""", "T", "m")
+    # builds without error; the trailing return block may be unreachable
+    assert graph.entry in graph.blocks
+
+
+def test_replace_all_uses_updates_framestates():
+    graph, _ = build_from_source(
+        "class T { static def m(a, i) { return a[i]; } }", "T", "m")
+    guard = next(n for b in graph.blocks for n in b.nodes
+                 if n.op == "guard" and n.extra.test == "bounds")
+    old = guard.inputs[0]
+    new = Node("const", value=0)
+    graph.replace_all_uses(old, new)
+    assert old not in guard.inputs or guard.inputs[0] is new
+    assert all(v is not old for v in guard.extra.state.values())
+
+
+def test_dominators_of_diamond():
+    graph, _ = build_from_source("""
+    class T { static def m(a) {
+        var x = 0;
+        if (a > 0) { x = 1; } else { x = 2; }
+        return x;
+    } }""", "T", "m")
+    idom = compute_dominators(graph)
+    blocks = graph.reachable_blocks()
+    entry = graph.entry
+    for block in blocks:
+        assert dominates(idom, entry, block)
+    merge = next(b for b in blocks if b.phis)
+    arms = [b for b in blocks if merge in b.successors]
+    for arm in arms:
+        assert not dominates(idom, arm, merge) or len(arms) == 1
+
+
+def test_nested_loops_detected_with_correct_membership():
+    graph, _ = build_from_source("""
+    class T { static def m(n) {
+        var acc = 0;
+        var i = 0;
+        while (i < n) {
+            var j = 0;
+            while (j < n) { acc = acc + 1; j = j + 1; }
+            i = i + 1;
+        }
+        return acc;
+    } }""", "T", "m")
+    loops = find_loops(graph)
+    assert len(loops) == 2
+    outer, inner = loops[0], loops[1]   # sorted by size desc
+    assert len(outer.blocks) > len(inner.blocks)
+    assert inner.header.id in outer.blocks
+
+
+def test_framestate_with_caller_chain():
+    inner = FrameState(3, (None,), (), method="inner")
+    outer = FrameState(7, (None,), ("x",), method="outer")
+    rooted = inner.with_caller(outer, drop=2)
+    assert rooted.caller is outer
+    assert rooted.drop == 2
+    deeper = rooted.with_caller(FrameState(9, (), (), method="top"), drop=1)
+    assert deeper.caller.caller.method == "top"
+    assert deeper.caller.drop == 1
+    assert deeper.drop == 2

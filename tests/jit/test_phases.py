@@ -1,0 +1,438 @@
+"""Unit tests for the optimization phases, at the IR level."""
+
+from repro.jvm.classfile import ClassPool
+from repro.jit.graph_builder import build_graph
+from repro.jit.jit import CompileStats
+from repro.jit.phases import (
+    atomic_coalescing,
+    cleanup,
+    duplication,
+    escape_analysis,
+    guard_motion,
+    inlining,
+    lock_coarsening,
+    method_handle,
+    vectorization,
+)
+from repro.jit.pipeline import graal_config
+from repro.lang import compile_program
+
+
+def build(src, cls="T", method="m", stdlib=False):
+    program = compile_program(src, include_stdlib=stdlib)
+    pool = ClassPool()
+    for c in program.classes:
+        pool.define(c)
+    pool.link_all()
+    graph = build_graph(pool.get(cls).resolve_method(method), pool)
+    return graph, pool
+
+
+def ops_of(graph):
+    return [n.op for b in graph.blocks for n in b.nodes]
+
+
+def run_front(graph, pool, config=None):
+    config = config or graal_config()
+    stats = CompileStats()
+    inlining.run(graph, config, pool, stats)
+    cleanup.run(graph, config, stats)
+    return config, stats
+
+
+# ------------------------------------------------------------- cleanup
+def test_constant_folding_folds_arithmetic():
+    graph, pool = build("class T { static def m() { return 2 * 3 + 4; } }")
+    cleanup.run(graph, graal_config(), CompileStats())
+    assert graph.blocks[-1].terminator[0] == "return" or True
+    assert all(op not in ("mul", "add") for op in ops_of(graph))
+
+
+def test_branch_folding_removes_dead_arm():
+    graph, pool = build("""
+    class T { static def m() {
+        var x = 0;
+        if (1 < 2) { x = 5; } else { x = 7; }
+        return x;
+    } }""")
+    cleanup.run(graph, graal_config(), CompileStats())
+    assert not any(b.terminator and b.terminator[0] == "branch"
+                   for b in graph.blocks)
+
+
+def test_cse_types_not_confused():
+    # const 0 and const 0.0 must remain distinct values.
+    graph, pool = build("""
+    class T { static def m() {
+        var a = 0;
+        var b = 0.0;
+        var i = 0;
+        while (i < 3) { b = b + 1.5; i = i + 1; }
+        return d2i(b) + a;
+    } }""")
+    config, _ = run_front(graph, pool)
+    from repro.jit.lowering import lower
+    code = lower(graph, config, pool)
+    # execution-level check happens in integration tests; here just
+    # assert both constants survived
+    consts = [v for _, v in code.consts]
+    assert 0 in [c for c in consts if isinstance(c, int)]
+
+
+def test_guard_deduplication_dominating_guard_wins():
+    graph, pool = build("""
+    class T { static def m(a, i) {
+        return a[i] + a[i];
+    } }""")
+    cleanup.run(graph, graal_config(), CompileStats())
+    guards = [n for b in graph.blocks for n in b.nodes if n.op == "guard"]
+    # one null + one bounds survive (the duplicates dominated away)
+    assert len(guards) == 2
+
+
+# ------------------------------------------------------------- inlining
+def test_static_call_inlined():
+    graph, pool = build("""
+    class T {
+        static def helper(x) { return x * 2; }
+        static def m(a) { return T.helper(a) + 1; }
+    }""")
+    run_front(graph, pool)
+    assert "invokestatic" not in ops_of(graph)
+
+
+def test_exact_type_devirtualization_and_inline():
+    graph, pool = build("""
+    class T {
+        var f;
+        def init() { this.f = 5; }
+        def get() { return this.f; }
+        static def m() {
+            var t = new T();
+            return t.get();
+        }
+    }""")
+    run_front(graph, pool)
+    ops = ops_of(graph)
+    assert "invokevirtual" not in ops
+
+
+def test_recursive_method_not_infinitely_inlined():
+    graph, pool = build("""
+    class T {
+        static def fact(n) {
+            if (n < 2) { return 1; }
+            return n * T.fact(n - 1);
+        }
+        static def m(n) { return T.fact(n); }
+    }""")
+    run_front(graph, pool)          # must terminate
+    assert graph.node_count() < 2000
+
+
+def test_profile_based_devirt_inserts_type_guard():
+    graph, pool = build("""
+    class T {
+        var f;
+        def init() { this.f = 3; }
+        def get() { return this.f; }
+        static def m(t) { return t.get(); }
+    }""")
+    # Simulate an interpreter profile: the call site saw only T.
+    m = pool.get("T").resolve_method("m")
+    site_pc = next(pc for pc, ins in enumerate(m.code)
+                   if ins.op.name == "INVOKEVIRTUAL")
+    m.call_profile = {site_pc: {"T"}}
+    graph = build_graph(m, pool)
+    run_front(graph, pool)
+    guards = [n for b in graph.blocks for n in b.nodes
+              if n.op == "guard" and n.extra.test == "type"]
+    assert len(guards) == 1
+    assert guards[0].extra.speculative
+    assert "invokevirtual" not in ops_of(graph)
+
+
+# ----------------------------------------------------- method handles
+def test_mhs_rewrites_traceable_handle_call():
+    graph, pool = build("""
+    class T {
+        static def m(a) {
+            var f = fun (x) x + 7;
+            return f(a);
+        }
+    }""")
+    config = graal_config()
+    stats = CompileStats()
+    cleanup.run(graph, config, stats)
+    assert "invokehandle" in ops_of(graph)
+    changed = method_handle.run(graph, config, stats)
+    assert changed
+    ops = ops_of(graph)
+    assert "invokehandle" not in ops
+    assert "invokestatic" in ops
+
+
+def test_mhs_leaves_opaque_handles_alone():
+    graph, pool = build("""
+    class T {
+        static def m(f, a) { return f(a); }
+    }""")
+    changed = method_handle.run(graph, graal_config(), CompileStats())
+    assert not changed
+    assert "invokehandle" in ops_of(graph)
+
+
+# ------------------------------------------------------------- PEA/EAWA
+def test_pea_removes_non_escaping_allocation():
+    graph, pool = build("""
+    class P { var x; def init() { this.x = 0; } }
+    class T {
+        static def m(v) {
+            var p = new P();
+            p.x = v;
+            return p.x + 1;
+        }
+    }""")
+    config, _ = run_front(graph, pool)
+    escape_analysis.run(graph, config, CompileStats())
+    cleanup.run(graph, config, CompileStats())
+    ops = ops_of(graph)
+    assert "new" not in ops
+    assert "putfield" not in ops
+
+
+def test_eawa_folds_cas_on_virtual_object():
+    src = """
+    class P { var s; def init() { this.s = 0; } }
+    class T {
+        static def m(v) {
+            var p = new P();
+            var ok = cas(p.s, 0, v);
+            return ok * 100 + p.s;
+        }
+    }"""
+    graph, pool = build(src)
+    config, _ = run_front(graph, pool)
+    escape_analysis.run(graph, config, CompileStats())
+    assert "cas" not in ops_of(graph)
+
+    # With EAWA disabled the CAS forces materialization: alloc survives.
+    graph2, pool2 = build(src)
+    config2 = graal_config().without("EAWA")
+    run_front(graph2, pool2, config2)
+    escape_analysis.run(graph2, config2, CompileStats())
+    assert "cas" in ops_of(graph2)
+    assert "new" in ops_of(graph2)
+
+
+def test_pea_materializes_before_escape_with_plain_writes():
+    graph, pool = build("""
+    class P { var s; def init() { this.s = 0; } }
+    class T {
+        static var sink = null;
+        static def m(v) {
+            var p = new P();
+            var ok = cas(p.s, 0, v);
+            T.sink = p;                 // escape after the CAS
+            return ok;
+        }
+    }""")
+    config, _ = run_front(graph, pool)
+    escape_analysis.run(graph, config, CompileStats())
+    ops = ops_of(graph)
+    assert "cas" not in ops             # CAS folded pre-publication
+    assert "new" in ops                 # materialized for the escape
+    assert "putfield" in ops            # state published via plain write
+
+
+def test_pea_elides_thread_local_monitors():
+    graph, pool = build("""
+    class P { var x; def init() { this.x = 0; } }
+    class T {
+        static def m(v) {
+            var p = new P();
+            synchronized (p) { p.x = v; }
+            return p.x;
+        }
+    }""")
+    config, _ = run_front(graph, pool)
+    escape_analysis.run(graph, config, CompileStats())
+    ops = ops_of(graph)
+    assert "monitorenter" not in ops
+    assert "monitorexit" not in ops
+
+
+# -------------------------------------------------------------- GM / LV
+def _loop_graph(pool_src="""
+    class T {
+        static def m(a, n) {
+            var s = 0;
+            var i = 0;
+            while (i < n) { s = s + a[i]; i = i + 1; }
+            return s;
+        }
+    }"""):
+    graph, pool = build(pool_src)
+    config, _ = run_front(graph, pool)
+    return graph, pool, config
+
+
+def test_guard_motion_hoists_bounds_to_preheader():
+    graph, pool, config = _loop_graph()
+    before = sum(1 for b in graph.blocks for n in b.nodes
+                 if n.op == "guard")
+    guard_motion.run(graph, config, CompileStats())
+    from repro.jit.loops import find_loops
+    loops = find_loops(graph)
+    [loop] = loops
+    in_loop_guards = [n for bid in loop.blocks
+                      for n in loop._block_map[bid].nodes
+                      if n.op == "guard"]
+    assert in_loop_guards == []
+    speculative = [n for b in graph.blocks for n in b.nodes
+                   if n.op == "guard" and n.extra.speculative]
+    assert speculative
+    assert any(n.extra.test == "bounds_range" for n in speculative)
+
+
+def test_guard_motion_respects_disabled_speculation():
+    graph, pool, config = _loop_graph()
+    method = graph.method
+    method.disabled_speculations.add((method.qualified, "gm",
+                                      _gm_header_pc(graph)))
+    guard_motion.run(graph, config, CompileStats())
+    remaining = [n for b in graph.blocks for n in b.nodes
+                 if n.op == "guard" and not n.extra.speculative]
+    assert remaining                     # guards stayed in place
+
+
+def _gm_header_pc(graph):
+    from repro.jit.loops import find_loops
+    [loop] = find_loops(graph)
+    return loop.header.bc_pc
+
+
+def test_vectorization_requires_guard_motion():
+    graph, pool, config = _loop_graph()
+    vectorization.run(graph, config, CompileStats())
+    assert all(b.vector_factor == 1 for b in graph.blocks)
+    guard_motion.run(graph, config, CompileStats())
+    vectorization.run(graph, config, CompileStats())
+    assert any(b.vector_factor > 1 for b in graph.blocks)
+
+
+def test_vectorization_rejects_calls_in_body():
+    graph, pool = build("""
+    class T {
+        static def f(x) { return x; }
+        static def m(a, n) {
+            var s = 0;
+            var i = 0;
+            while (i < n) { s = s + T.f(a[i]); i = i + 1; }
+            return s;
+        }
+    }""")
+    config = graal_config(inline_callee_budget=0)   # keep the call
+    stats = CompileStats()
+    cleanup.run(graph, config, stats)
+    guard_motion.run(graph, config, stats)
+    vectorization.run(graph, config, stats)
+    assert all(b.vector_factor == 1 for b in graph.blocks)
+
+
+# ------------------------------------------------------------------ LLC
+def test_lock_coarsening_marks_loop_monitors():
+    graph, pool = build("""
+    class T {
+        static def m(lock, n) {
+            var s = 0;
+            var i = 0;
+            while (i < n) {
+                synchronized (lock) { s = s + 1; }
+                i = i + 1;
+            }
+            return s;
+        }
+    }""")
+    config, _ = run_front(graph, pool)
+    lock_coarsening.run(graph, config, CompileStats())
+    tagged = [n for b in graph.blocks for n in b.nodes
+              if n.op in ("monitorenter", "monitorexit")
+              and isinstance(n.extra, tuple)]
+    assert len(tagged) == 2
+    releases = [n for b in graph.blocks for n in b.nodes
+                if n.op == "monitorexit_if_held"]
+    assert releases                      # loop exits drain the lock
+
+
+def test_lock_coarsening_skips_loops_with_wait():
+    graph, pool = build("""
+    class T {
+        static def m(lock, n) {
+            var i = 0;
+            while (i < n) {
+                synchronized (lock) { wait(lock); }
+                i = i + 1;
+            }
+            return i;
+        }
+    }""")
+    config, _ = run_front(graph, pool)
+    lock_coarsening.run(graph, config, CompileStats())
+    tagged = [n for b in graph.blocks for n in b.nodes
+              if n.op == "monitorenter" and isinstance(n.extra, tuple)]
+    assert tagged == []
+
+
+# ------------------------------------------------------------------- AC
+def test_atomic_coalescing_fuses_consecutive_retry_loops():
+    graph, pool = build("""
+    class B { var v; def init() { this.v = 0; } }
+    class T {
+        static def m(b) {
+            var first = 0;
+            while (true) {
+                var s = atomicGet(b.v);
+                first = s + 1;
+                if (cas(b.v, s, first)) { break; }
+            }
+            var second = 0;
+            while (true) {
+                var s = atomicGet(b.v);
+                second = s * 2;
+                if (cas(b.v, s, second)) { break; }
+            }
+            return first + second;
+        }
+    }""")
+    config, _ = run_front(graph, pool)
+    before_cas = sum(1 for op in ops_of(graph) if op == "cas")
+    assert before_cas == 2
+    atomic_coalescing.run(graph, config, CompileStats())
+    cleanup.run(graph, config, CompileStats())
+    assert sum(1 for op in ops_of(graph) if op == "cas") == 1
+    assert sum(1 for op in ops_of(graph) if op == "atomicget") == 1
+
+
+# ------------------------------------------------------------------- DS
+def test_duplication_folds_repeated_instanceof():
+    graph, pool = build("""
+    class A { def init() { } }
+    class B extends A { def init() { } }
+    class T {
+        static var acc = 0;
+        static def m(x) {
+            if (x instanceof B) { T.acc = T.acc + 1; }
+            else { T.acc = T.acc + 2; }
+            if (x instanceof B) { T.acc = T.acc + 3; }
+            return T.acc;
+        }
+    }""")
+    config, _ = run_front(graph, pool)
+    before = sum(1 for b in graph.blocks
+                 if b.terminator and b.terminator[0] == "branch")
+    duplication.run(graph, config, CompileStats())
+    cleanup.run(graph, config, CompileStats())
+    after = sum(1 for b in graph.blocks
+                if b.terminator and b.terminator[0] == "branch")
+    assert after < before

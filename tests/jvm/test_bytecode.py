@@ -1,0 +1,83 @@
+"""Unit tests for the bytecode instruction set."""
+
+import pytest
+
+from repro.jvm.bytecode import (
+    ATOMICS,
+    BRANCHES,
+    DYNAMIC_DISPATCH,
+    INVOKES,
+    Instr,
+    Op,
+    TERMINATORS,
+    branch_targets,
+    validate_code,
+)
+
+
+def test_instr_repr_without_arg():
+    assert repr(Instr(Op.ADD)) == "ADD"
+
+
+def test_instr_repr_with_arg():
+    assert repr(Instr(Op.LOAD, 3)) == "LOAD 3"
+
+
+def test_branch_targets_goto():
+    assert branch_targets(Instr(Op.GOTO, 5), 0) == [5]
+
+
+def test_branch_targets_if_has_fallthrough_and_target():
+    assert branch_targets(Instr(Op.IF, ("<", 7)), 2) == [3, 7]
+
+
+def test_branch_targets_return_empty():
+    assert branch_targets(Instr(Op.RETURN), 4) == []
+
+
+def test_branch_targets_straightline():
+    assert branch_targets(Instr(Op.ADD), 1) == [2]
+
+
+def test_validate_accepts_minimal_method():
+    validate_code([Instr(Op.RETURN)])
+
+
+def test_validate_rejects_empty():
+    with pytest.raises(ValueError):
+        validate_code([])
+
+
+def test_validate_rejects_fallthrough_end():
+    with pytest.raises(ValueError, match="falls off"):
+        validate_code([Instr(Op.CONST, 1), Instr(Op.POP)])
+
+
+def test_validate_rejects_out_of_range_target():
+    with pytest.raises(ValueError, match="out of range"):
+        validate_code([Instr(Op.GOTO, 9), Instr(Op.RETURN)])
+
+
+def test_validate_rejects_bad_comparison():
+    code = [Instr(Op.CONST, 1), Instr(Op.IFZ, ("===", 0)),
+            Instr(Op.RETURN)]
+    with pytest.raises(ValueError, match="bad comparison"):
+        validate_code(code)
+
+
+def test_validate_accepts_backward_branch():
+    validate_code([
+        Instr(Op.CONST, 1),
+        Instr(Op.IFZ, ("==", 0)),
+        Instr(Op.RETURN),
+    ])
+
+
+def test_opcode_groups_are_disjoint_where_expected():
+    assert Op.INVOKEVIRTUAL in INVOKES
+    assert Op.INVOKEVIRTUAL in DYNAMIC_DISPATCH
+    assert Op.INVOKESTATIC not in DYNAMIC_DISPATCH
+    assert Op.CAS in ATOMICS
+    assert Op.GOTO in BRANCHES
+    assert Op.RETVAL in TERMINATORS
+    assert Op.IF not in TERMINATORS

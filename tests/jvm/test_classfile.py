@@ -1,0 +1,129 @@
+"""Unit tests for the class/method model and linking."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.jvm.bytecode import Instr, Op
+from repro.jvm.classfile import ClassPool, JClass, JField, JMethod
+
+
+def make_method(name, owner="C", params=0, static=False):
+    return JMethod(name, owner, params, [Instr(Op.RETURN)],
+                   max_locals=params + (0 if static else 1), static=static)
+
+
+def linked_pool(*classes):
+    pool = ClassPool()
+    for cls in classes:
+        pool.define(cls)
+    pool.link_all()
+    return pool
+
+
+def test_object_is_predefined():
+    pool = ClassPool()
+    assert "Object" in pool
+    assert pool.get("Object").has_method("init")
+
+
+def test_define_duplicate_raises():
+    pool = ClassPool()
+    pool.define(JClass("A"))
+    with pytest.raises(LinkError, match="duplicate"):
+        pool.define(JClass("A"))
+
+
+def test_get_unknown_raises():
+    with pytest.raises(LinkError, match="not found"):
+        ClassPool().get("Nope")
+
+
+def test_field_layout_includes_superclass_fields_first():
+    parent = JClass("P")
+    parent.add_field(JField("a"))
+    child = JClass("C", "P")
+    child.add_field(JField("b"))
+    linked_pool(parent, child)
+    assert child.field_layout == {"a": 0, "b": 1}
+    assert child.instance_words == 2
+
+
+def test_depth_and_subclasses():
+    a = JClass("A")
+    b = JClass("B", "A")
+    c = JClass("C", "B")
+    pool = linked_pool(a, b, c)
+    assert pool.get("C").depth == 3          # Object -> A -> B -> C
+    assert a.subclasses == ["B"]
+    assert b.subclasses == ["C"]
+
+
+def test_method_resolution_walks_superclass_chain():
+    a = JClass("A")
+    a.add_method(make_method("greet", "A"))
+    b = JClass("B", "A")
+    linked_pool(a, b)
+    assert b.resolve_method("greet").owner == "A"
+
+
+def test_method_resolution_prefers_override():
+    a = JClass("A")
+    a.add_method(make_method("greet", "A"))
+    b = JClass("B", "A")
+    b.add_method(make_method("greet", "B"))
+    linked_pool(a, b)
+    assert b.resolve_method("greet").owner == "B"
+
+
+def test_resolve_missing_method_raises():
+    a = JClass("A")
+    linked_pool(a)
+    with pytest.raises(LinkError):
+        a.resolve_method("nope")
+
+
+def test_is_subtype_of_interface():
+    iface = JClass("I", is_interface=True)
+    a = JClass("A", interfaces=("I",))
+    b = JClass("B", "A")
+    linked_pool(iface, a, b)
+    assert a.is_subtype_of("I")
+    assert b.is_subtype_of("I")       # inherited interface
+    assert b.is_subtype_of("Object")
+    assert not a.is_subtype_of("B")
+
+
+def test_inheritance_cycle_detected():
+    a = JClass("A", "B")
+    b = JClass("B", "A")
+    pool = ClassPool()
+    pool.define(a)
+    pool.define(b)
+    with pytest.raises(LinkError, match="cycle"):
+        pool.link_all()
+
+
+def test_missing_superclass_raises():
+    pool = ClassPool()
+    pool.define(JClass("A", "Ghost"))
+    with pytest.raises(LinkError, match="not found"):
+        pool.link_all()
+
+
+def test_method_validate_checks_max_locals():
+    m = JMethod("f", "C", 2, [Instr(Op.RETURN)], max_locals=1, static=True)
+    with pytest.raises(LinkError, match="max_locals"):
+        m.validate()
+
+
+def test_qualified_and_nargs():
+    m = make_method("f", "C", params=2)
+    assert m.qualified == "C.f"
+    assert m.nargs == 3               # receiver included
+    s = make_method("g", "C", params=2, static=True)
+    assert s.nargs == 2
+
+
+def test_loaded_classes_initially_empty():
+    pool = linked_pool(JClass("A"))
+    assert pool.loaded_classes() == []

@@ -1,0 +1,361 @@
+"""Interpreter semantics, exercised through small guest programs."""
+
+import pytest
+
+from repro.errors import (
+    GuestArithmeticError,
+    GuestBoundsError,
+    GuestCastError,
+    GuestNullPointerError,
+)
+from repro.jvm.interpreter import _rem_int, _truediv_int, guest_str
+from tests.util import run_guest
+
+
+def expr(expression, prelude=""):
+    src = ("class Main { static def main() { %s return %s; } }"
+           % (prelude, expression))
+    result, _ = run_guest(src)
+    return result
+
+
+def test_integer_arithmetic():
+    assert expr("2 + 3 * 4") == 14
+    assert expr("(2 + 3) * 4") == 20
+    assert expr("10 % 3") == 1
+    assert expr("2 - 7") == -5
+
+
+def test_java_style_truncating_division():
+    assert expr("-7 / 2") == -3           # Java truncates toward zero
+    assert expr("7 / -2") == -3
+    assert expr("-7 % 2") == -1           # sign follows the dividend
+    assert _truediv_int(-7, 2) == -3
+    assert _rem_int(-7, 2) == -1
+
+
+def test_division_by_zero_is_guest_fault():
+    with pytest.raises(GuestArithmeticError):
+        expr("1 / 0")
+    with pytest.raises(GuestArithmeticError):
+        expr("1 % 0")
+
+
+def test_float_arithmetic_and_conversions():
+    assert expr("1.5 + 2.25") == 3.75
+    assert expr("7.0 / 2.0") == 3.5
+    assert expr("i2d(3)") == 3.0
+    assert expr("d2i(3.9)") == 3
+
+
+def test_bitwise_and_shift():
+    assert expr("(5 & 3) + (5 | 3) + (5 ^ 3)") == 1 + 7 + 6
+    assert expr("1 << 4") == 16
+    assert expr("-16 >> 2") == -4
+
+
+def test_comparisons_produce_zero_one():
+    assert expr("3 < 4") == 1
+    assert expr("4 <= 3") == 0
+    assert expr("3 == 3") == 1
+    assert expr("3 != 3") == 0
+
+
+def test_short_circuit_evaluation():
+    src = """
+    class Main {
+        static var calls = 0;
+        static def bump() { Main.calls = Main.calls + 1; return 1; }
+        static def main() {
+            var a = false && Main.bump() == 1;
+            var b = true || Main.bump() == 1;
+            return Main.calls * 100 + a * 10 + b;
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 1                    # no bump calls; a=0 b=1
+
+
+def test_unary_operators():
+    assert expr("-(3 + 4)") == -7
+    assert expr("!0") == 1
+    assert expr("!5") == 0
+    assert expr("~5") == -6
+
+
+def test_string_concat_coerces_java_style():
+    assert expr('"x=" + 5') == "x=5"
+    assert expr('"v:" + null') == "v:null"
+    assert expr('1 + "a"') == "1a"
+    assert guest_str(None) == "null"
+
+
+def test_null_dereference_faults():
+    with pytest.raises(GuestNullPointerError):
+        run_guest("""
+        class P { var x; def init() { this.x = 0; } }
+        class Main { static def main() {
+            var p = null;
+            return p.x;
+        } }
+        """)
+
+
+def test_array_out_of_bounds_faults():
+    with pytest.raises(GuestBoundsError):
+        expr("a[3]", prelude="var a = new int[3];")
+
+
+def test_checkcast_failure_faults():
+    with pytest.raises(GuestCastError):
+        run_guest("""
+        class A { def init() { } }
+        class B { def init() { } }
+        class Main { static def main() {
+            var o = new A();
+            var b = cast(B, o);
+            return 0;
+        } }
+        """)
+
+
+def test_instanceof_with_hierarchy():
+    src = """
+    class Animal { def init() { } }
+    class Dog extends Animal { def init() { } }
+    class Main {
+        static def main() {
+            var d = new Dog();
+            var a = new Animal();
+            var r = 0;
+            if (d instanceof Dog) { r = r + 1; }
+            if (d instanceof Animal) { r = r + 10; }
+            if (a instanceof Dog) { r = r + 100; }
+            if (null instanceof Dog) { r = r + 1000; }
+            return r;
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 11
+
+
+def test_virtual_dispatch_picks_runtime_type():
+    src = """
+    class Shape { def init() { } def area() { return 0; } }
+    class Square extends Shape {
+        var side;
+        def init(side) { this.side = side; }
+        def area() { return this.side * this.side; }
+    }
+    class Main {
+        static def main() {
+            var s = new Square(5);
+            var base = new Shape();
+            return s.area() * 100 + base.area();
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 2500
+
+
+def test_static_fields_and_clinit():
+    src = """
+    class Config {
+        static var limit = 40 + 2;
+        static var name = "cfg";
+    }
+    class Main {
+        static def main() {
+            Config.limit = Config.limit + 1;
+            return Config.limit;
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 43
+
+
+def test_lambda_capture_by_value():
+    src = """
+    class Main {
+        static def main() {
+            var x = 10;
+            var f = fun (y) x + y;
+            x = 99;                     // capture was by value
+            return f(5);
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 15
+
+
+def test_lambda_closure_over_this():
+    src = """
+    class Counter {
+        var n;
+        def init() { this.n = 0; }
+        def incrementer() {
+            return fun () {
+                this.n = this.n + 1;
+                return this.n;
+            };
+        }
+    }
+    class Main {
+        static def main() {
+            var c = new Counter();
+            var inc = c.incrementer();
+            inc();
+            inc();
+            return inc();
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 3
+
+
+def test_cas_success_and_failure():
+    src = """
+    class Box { var v; def init(v) { this.v = v; } }
+    class Main {
+        static def main() {
+            var b = new Box(5);
+            var ok = cas(b.v, 5, 6);
+            var bad = cas(b.v, 5, 7);
+            return ok * 100 + bad * 10 + b.v;
+        }
+    }
+    """
+    result, vm = run_guest(src)
+    assert result == 106
+    assert vm.counters.atomic == 2
+    assert vm.counters.cas_failures == 1
+
+
+def test_atomic_add_returns_old_value():
+    src = """
+    class Box { var v; def init(v) { this.v = v; } }
+    class Main {
+        static def main() {
+            var b = new Box(10);
+            var old = atomicAdd(b.v, 5);
+            return old * 100 + atomicGet(b.v);
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 1015
+
+
+def test_synchronized_block_counts_synch_metric():
+    src = """
+    class Main {
+        static def main() {
+            var lock = new Object();
+            var acc = 0;
+            var i = 0;
+            while (i < 7) {
+                synchronized (lock) { acc = acc + i; }
+                i = i + 1;
+            }
+            return acc;
+        }
+    }
+    """
+    result, vm = run_guest(src)
+    assert result == 21
+    assert vm.counters.synch == 7
+
+
+def test_break_continue_in_loops():
+    src = """
+    class Main {
+        static def main() {
+            var acc = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                acc = acc + i;
+            }
+            return acc;
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 1 + 3 + 5 + 7 + 9
+
+
+def test_return_inside_synchronized_releases_monitor():
+    src = """
+    class Holder {
+        var lock;
+        def init() { this.lock = new Object(); }
+        def grab() {
+            synchronized (this.lock) {
+                return 7;
+            }
+            return 0;
+        }
+    }
+    class Main {
+        static def main() {
+            var h = new Holder();
+            var a = h.grab();
+            // if the monitor leaked, this second entry would deadlock
+            var b = h.grab();
+            return a + b;
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 14
+
+
+def test_thread_start_join_and_result_visibility():
+    src = """
+    class Main {
+        static def main() {
+            var box = new AtomicLong(0);
+            var t = new Thread(fun () { box.set(42); });
+            t.start();
+            t.join();
+            return box.get();
+        }
+    }
+    """
+    result, _ = run_guest(src)
+    assert result == 42
+
+
+def test_wait_notify_handoff():
+    src = """
+    class Main {
+        static def main() {
+            var lock = new Object();
+            var state = new AtomicLong(0);
+            var t = new Thread(fun () {
+                synchronized (lock) {
+                    while (atomicGet(state.value) == 0) {
+                        wait(lock);
+                    }
+                }
+                state.set(2);
+            });
+            t.start();
+            synchronized (lock) {
+                state.set(1);
+                notifyAll(lock);
+            }
+            t.join();
+            return state.get();
+        }
+    }
+    """
+    result, vm = run_guest(src)
+    assert result == 2
+    assert vm.counters.notify >= 1

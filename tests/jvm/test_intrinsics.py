@@ -1,0 +1,118 @@
+"""Tests for the native intrinsics (strings, math, arrays, threads)."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.jvm.intrinsics import lookup
+from tests.util import run_guest
+
+
+def guest_expr(expression):
+    result, _ = run_guest(
+        "class Main { static def main() { return %s; } }" % expression)
+    return result
+
+
+def test_lookup_unknown_native_raises():
+    with pytest.raises(VMError, match="no intrinsic"):
+        lookup("Ghost", "spooky")
+
+
+def test_string_length_and_charat():
+    assert guest_expr('Str.len("hello")') == 5
+    assert guest_expr('Str.charAt("abc", 1)') == ord("b")
+
+
+def test_string_substring_indexof():
+    assert guest_expr('Str.sub("hello world", 6, 11)') == "world"
+    assert guest_expr('Str.indexOf("hello", "ll")') == 2
+    assert guest_expr('Str.indexOf("hello", "z")') == -1
+
+
+def test_string_case_and_compare():
+    assert guest_expr('Str.upper("aBc")') == "ABC"
+    assert guest_expr('Str.lower("AbC")') == "abc"
+    assert guest_expr('Str.cmp("a", "b")') == -1
+    assert guest_expr('Str.cmp("b", "a")') == 1
+    assert guest_expr('Str.cmp("a", "a")') == 0
+
+
+def test_string_conversion_and_hash():
+    assert guest_expr('Str.ofInt(42)') == "42"
+    assert guest_expr('Str.parseInt("123")') == 123
+    assert guest_expr('Str.fromChar(65)') == "A"
+    # java.lang.String.hashCode polynomial
+    assert guest_expr('Str.hash("ab")') == 31 * ord("a") + ord("b")
+
+
+def test_math_functions():
+    assert guest_expr("Math.sqrt(9.0)") == 3.0
+    assert guest_expr("Math.pow(2.0, 10.0)") == 1024.0
+    assert guest_expr("Math.floor(3.7)") == 3
+    assert abs(guest_expr("Math.sin(0.0)")) < 1e-12
+    assert guest_expr("Math.cos(0.0)") == 1.0
+    assert guest_expr("Math.log(1.0)") == 0.0
+    assert guest_expr("Math.exp(0.0)") == 1.0
+
+
+def test_arrays_copy():
+    result, _ = run_guest("""
+    class Main {
+        static def main() {
+            var src = new int[5];
+            var i = 0;
+            while (i < 5) { src[i] = i * 10; i = i + 1; }
+            var dst = new int[5];
+            Arrays.copy(src, 1, dst, 0, 3);
+            return dst[0] * 100 + dst[1] * 10 + dst[2] / 10;
+        }
+    }""")
+    assert result == 10 * 100 + 20 * 10 + 3
+
+
+def test_sys_hash_of_kinds():
+    result, _ = run_guest("""
+    class Main {
+        static def main() {
+            var a = Sys.hashOf(42);
+            var b = Sys.hashOf("x");
+            var c = Sys.hashOf(null);
+            var o = new Object();
+            var d = Sys.hashOf(o);
+            var stable = 0;
+            if (Sys.hashOf(o) == d) { stable = 1; }
+            return a * 10 + stable + c;
+        }
+    }""")
+    assert result == 421
+
+
+def test_thread_is_alive_and_current():
+    result, _ = run_guest("""
+    class Main {
+        static def main() {
+            var t = new Thread(fun () { return 0; });
+            var before = t.isAlive();
+            t.start();
+            t.join();
+            var after = t.isAlive();
+            var me = Thread.current();
+            var named = 0;
+            if (me != null) { named = 1; }
+            return before * 100 + after * 10 + named;
+        }
+    }""")
+    assert result == 1   # not alive before start, dead after join, current ok
+
+
+def test_println_reaches_vm_stdout():
+    _, vm = run_guest("""
+    class Main {
+        static def main() {
+            Sys.println("hello");
+            Sys.print("wo");
+            Sys.print("rld");
+            return 0;
+        }
+    }""")
+    assert "".join(vm.stdout) == "hello\nworld"

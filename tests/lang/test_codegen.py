@@ -1,0 +1,190 @@
+"""Unit tests for the guest-language code generation."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.jvm.bytecode import Op
+from repro.lang import compile_program
+from tests.util import run_guest
+
+
+def compile_only(src):
+    return compile_program(src, include_stdlib=False)
+
+
+def code_of(program, cls, method):
+    return program.by_name[cls].methods[method].code
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(CompileError, match="unknown variable"):
+        compile_only("class T { def m() { return nope; } }")
+
+
+def test_assignment_to_undeclared_rejected():
+    with pytest.raises(CompileError, match="undeclared"):
+        compile_only("class T { def m() { x = 1; } }")
+
+
+def test_duplicate_variable_in_same_scope_rejected():
+    with pytest.raises(CompileError, match="duplicate"):
+        compile_only("class T { def m() { var x = 1; var x = 2; } }")
+
+
+def test_block_scoping_allows_redeclaration_in_sibling_blocks():
+    result, _ = run_guest("""
+    class Main {
+        static def main() {
+            var acc = 0;
+            var i = 0;
+            while (i < 2) { var t = 10; acc = acc + t; i = i + 1; }
+            i = 0;
+            while (i < 2) { var t = 100; acc = acc + t; i = i + 1; }
+            return acc;
+        }
+    }
+    """)
+    assert result == 220
+
+
+def test_this_in_static_context_rejected():
+    with pytest.raises(CompileError, match="static"):
+        compile_only("class T { static def m() { return this; } }")
+
+
+def test_unknown_class_in_new_rejected():
+    with pytest.raises(CompileError, match="unknown class"):
+        compile_only("class T { def m() { return new Ghost(); } }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(CompileError, match="break outside"):
+        compile_only("class T { def m() { break; } }")
+
+
+def test_static_synchronized_rejected():
+    with pytest.raises(CompileError, match="static synchronized"):
+        compile_only(
+            "class T { static synchronized def m() { return 1; } }")
+
+
+def test_duplicate_classes_rejected():
+    with pytest.raises(CompileError, match="duplicate class"):
+        compile_program("class A { }", "class A { }",
+                        include_stdlib=False)
+
+
+def test_builtin_shadowing_rejected():
+    with pytest.raises(CompileError, match="shadow"):
+        compile_only("class Math { }")
+
+
+def test_cas_requires_field_target():
+    with pytest.raises(CompileError, match="cas target"):
+        compile_only("class T { def m(x) { return cas(x, 1, 2); } }")
+
+
+def test_builtin_arity_checked():
+    with pytest.raises(CompileError, match="expects"):
+        compile_only("class T { def m() { return len(); } }")
+
+
+def test_synchronized_method_wraps_body_in_monitors():
+    program = compile_only(
+        "class T { synchronized def m() { return 1; } }")
+    ops = [i.op for i in code_of(program, "T", "m")]
+    assert Op.MONITORENTER in ops
+    assert Op.MONITOREXIT in ops
+    assert ops.index(Op.MONITORENTER) < ops.index(Op.MONITOREXIT)
+
+
+def test_default_constructor_synthesized():
+    program = compile_only("class T { var x; }")
+    assert "init" in program.by_name["T"].methods
+
+
+def test_lambda_lifted_to_static_method():
+    program = compile_only("""
+    class T {
+        def m() {
+            var d = 3;
+            return fun (x) x + d;
+        }
+    }
+    """)
+    lifted = program.by_name["T"].methods["lambda$0"]
+    assert lifted.static
+    assert lifted.params == 2       # captured d + declared x
+
+
+def test_lambda_capture_order_is_first_use():
+    program = compile_only("""
+    class T {
+        def m(a, b) {
+            return fun () b * 10 + a;
+        }
+    }
+    """)
+    code = code_of(program, "T", "m")
+    indy = [i for i in code if i.op == Op.INVOKEDYNAMIC]
+    assert len(indy) == 1
+    assert indy[0].arg[2] == 2      # two captures
+
+
+def test_ck_metadata_recorded():
+    program = compile_only("""
+    class Helper { def init() { } def work() { return 1; } }
+    class T {
+        var f;
+        def init() { this.f = 0; }
+        def m() {
+            var h = new Helper();
+            this.f = h.work();
+            return this.f;
+        }
+    }
+    """)
+    method = program.by_name["T"].methods["m"]
+    assert ("Helper", "init") in method.called
+    assert (None, "work") in method.called
+    assert ("T", "f") in method.accessed_fields
+    assert "Helper" in program.by_name["T"].referenced
+
+
+def test_interface_method_is_abstract():
+    program = compile_only("interface I { def f(); }")
+    assert program.by_name["I"].methods["f"].abstract
+
+
+def test_nested_synchronized_break_unwinds_inner_monitor_only():
+    result, _ = run_guest("""
+    class Main {
+        static def main() {
+            var outerLock = new Object();
+            var innerLock = new Object();
+            var acc = 0;
+            synchronized (outerLock) {
+                var i = 0;
+                while (i < 5) {
+                    synchronized (innerLock) {
+                        if (i == 3) { break; }
+                        acc = acc + i;
+                    }
+                    i = i + 1;
+                }
+                // both monitors must be free again:
+                synchronized (innerLock) { acc = acc + 100; }
+            }
+            synchronized (outerLock) { acc = acc + 1000; }
+            return acc;
+        }
+    }
+    """)
+    assert result == 0 + 1 + 2 + 100 + 1000
+
+
+def test_stdlib_compiles_and_links():
+    program = compile_program()
+    names = {cls.name for cls in program.classes}
+    assert {"Thread", "Random", "ArrayList", "HashMap", "Promise",
+            "ThreadPool", "Stream", "STM", "Vector"} <= names

@@ -1,0 +1,86 @@
+"""Unit tests for the guest-language lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.value) for t in tokenize(src)][:-1]   # drop eof
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("class classy") == [("kw", "class"), ("ident", "classy")]
+
+
+def test_integer_and_float_literals():
+    assert kinds("42") == [("int", 42)]
+    assert kinds("3.5") == [("float", 3.5)]
+    assert kinds("1.0e18") == [("float", 1.0e18)]
+    assert kinds("2e3") == [("float", 2000.0)]
+
+
+def test_leading_dot_float():
+    assert kinds(".5") == [("float", 0.5)]
+    # a dot NOT followed by a digit stays a separate operator token
+    assert kinds("x.y") == [("ident", "x"), ("op", "."), ("ident", "y")]
+
+
+def test_string_literal_with_escapes():
+    assert kinds(r'"a\nb\t\"q\""') == [("str", 'a\nb\t"q"')]
+
+
+def test_char_literal_is_int():
+    assert kinds("'a'") == [("int", ord("a"))]
+    assert kinds(r"'\n'") == [("int", 10)]
+
+
+def test_multichar_operators_longest_match():
+    assert [v for _, v in kinds("a<=b==c&&d")] == ["a", "<=", "b", "==",
+                                                   "c", "&&", "d"]
+    assert [v for _, v in kinds("x<<2>>1")] == ["x", "<<", 2, ">>", 1]
+
+
+def test_compound_assignment_tokens():
+    assert [v for _, v in kinds("x += 2")] == ["x", "+=", 2]
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+
+def test_block_comment_skipped_and_tracks_lines():
+    toks = tokenize("a /* multi\nline */ b")
+    assert toks[1].line == 2
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize('"abc')
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize("/* nope")
+
+
+def test_newline_in_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"a\nb"')
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError, match="unexpected"):
+        tokenize("a $ b")
+
+
+def test_bad_escape_raises():
+    with pytest.raises(LexError, match="escape"):
+        tokenize(r'"\q"')
+
+
+def test_positions_are_tracked():
+    toks = tokenize("ab\n  cd")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)

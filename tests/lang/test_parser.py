@@ -1,0 +1,166 @@
+"""Unit tests for the guest-language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+
+
+def parse_one(src):
+    decls = parse(src)
+    assert len(decls) == 1
+    return decls[0]
+
+
+def method_body(src):
+    cls = parse_one("class T { def m() { %s } }" % src)
+    return cls.methods[0].body
+
+
+def expr_of(src):
+    [stmt] = method_body(f"var x = {src};")
+    return stmt.init
+
+
+def test_class_with_extends_and_implements():
+    cls = parse_one("class A extends B implements I, J { }")
+    assert cls.super_name == "B"
+    assert cls.interfaces == ["I", "J"]
+    assert not cls.is_interface
+
+
+def test_interface_methods_are_bodyless():
+    cls = parse_one("interface I { def f(a); def g(); }")
+    assert cls.is_interface
+    assert all(m.body is None for m in cls.methods)
+
+
+def test_field_modifiers():
+    cls = parse_one("class A { var x; static var y = 3; }")
+    assert [(f.name, f.static) for f in cls.fields] == [("x", False),
+                                                        ("y", True)]
+    assert isinstance(cls.fields[1].init, A.Literal)
+
+
+def test_instance_field_initializer_rejected():
+    with pytest.raises(ParseError, match="constructor"):
+        parse("class A { var x = 1; }")
+
+
+def test_method_modifiers():
+    cls = parse_one(
+        "class A { static def s() { } native def n(); "
+        "synchronized def y() { } }")
+    by_name = {m.name: m for m in cls.methods}
+    assert by_name["s"].static
+    assert by_name["n"].native and by_name["n"].body is None
+    assert by_name["y"].synchronized
+
+
+def test_precedence_mul_over_add():
+    e = expr_of("1 + 2 * 3")
+    assert isinstance(e, A.Binary) and e.op == "+"
+    assert isinstance(e.rhs, A.Binary) and e.rhs.op == "*"
+
+
+def test_precedence_cmp_over_and():
+    e = expr_of("a < b && c > d")
+    assert isinstance(e, A.ShortCircuit) and e.op == "&&"
+    assert e.lhs.op == "<" and e.rhs.op == ">"
+
+
+def test_or_binds_looser_than_and():
+    e = expr_of("a || b && c")
+    assert e.op == "||"
+    assert isinstance(e.rhs, A.ShortCircuit) and e.rhs.op == "&&"
+
+
+def test_instanceof_expression():
+    e = expr_of("x instanceof Foo")
+    assert isinstance(e, A.InstanceOf)
+    assert e.class_name == "Foo"
+
+
+def test_unary_chains():
+    e = expr_of("!-x")
+    assert isinstance(e, A.Unary) and e.op == "!"
+    assert isinstance(e.operand, A.Unary) and e.operand.op == "-"
+
+
+def test_postfix_chain_field_index_call():
+    e = expr_of("a.b[1].c(2)")
+    assert isinstance(e, A.Call)
+    callee = e.callee
+    assert isinstance(callee, A.FieldAccess) and callee.name == "c"
+    assert isinstance(callee.obj, A.Index)
+
+
+def test_new_object_and_arrays():
+    assert isinstance(expr_of("new Foo(1, 2)"), A.New)
+    arr = expr_of("new int[8]")
+    assert isinstance(arr, A.NewArray) and arr.kind == "int"
+    assert expr_of("new double[2]").kind == "double"
+    assert expr_of("new ref[2]").kind == "ref"
+
+
+def test_lambda_expression_body():
+    lam = expr_of("fun (x) x * 2")
+    assert isinstance(lam, A.Lambda)
+    assert lam.params == ["x"]
+    assert isinstance(lam.body[0], A.Return)
+
+
+def test_lambda_block_body():
+    lam = expr_of("fun (a, b) { return a + b; }")
+    assert lam.params == ["a", "b"]
+
+
+def test_if_else_if_chain():
+    [stmt] = method_body("if (a) { } else if (b) { } else { }")
+    assert isinstance(stmt, A.If)
+    assert isinstance(stmt.else_body[0], A.If)
+
+
+def test_for_loop_parts():
+    [stmt] = method_body("for (var i = 0; i < 9; i = i + 1) { }")
+    assert isinstance(stmt, A.For)
+    assert isinstance(stmt.init, A.VarDecl)
+    assert isinstance(stmt.step, A.Assign)
+
+
+def test_for_loop_parts_optional():
+    [stmt] = method_body("for (;;) { break; }")
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_synchronized_statement():
+    [stmt] = method_body("synchronized (this) { return 1; }")
+    assert isinstance(stmt, A.Synchronized)
+
+
+def test_compound_assignment_desugars():
+    [stmt] = method_body("x += 3;")
+    assert isinstance(stmt, A.Assign)
+    assert isinstance(stmt.value, A.Binary) and stmt.value.op == "+"
+
+
+def test_invalid_assignment_target_rejected():
+    with pytest.raises(ParseError, match="assignment target"):
+        parse("class T { def m() { 1 + 2 = 3; } }")
+
+
+def test_keyword_literals():
+    assert expr_of("true").value == 1
+    assert expr_of("false").value == 0
+    assert expr_of("null").value is None
+
+
+def test_missing_semicolon_is_error():
+    with pytest.raises(ParseError):
+        parse("class T { def m() { var x = 1 } }")
+
+
+def test_trailing_garbage_is_error():
+    with pytest.raises(ParseError):
+        parse("class T { } garbage")

@@ -1,0 +1,336 @@
+"""Behavioural tests for the guest standard library."""
+
+from tests.util import run_guest
+
+
+def guest(body, prelude=""):
+    src = prelude + (
+        "class Main { static def main() { %s } }" % body)
+    result, vm = run_guest(src)
+    return result, vm
+
+
+def test_arraylist_grows_and_indexes():
+    result, _ = guest("""
+        var l = new ArrayList();
+        var i = 0;
+        while (i < 40) { l.add(i * 2); i = i + 1; }
+        return l.size() * 1000 + l.get(33);
+    """)
+    assert result == 40 * 1000 + 66
+
+
+def test_arraylist_remove_last():
+    result, _ = guest("""
+        var l = new ArrayList();
+        l.add(1); l.add(2); l.add(3);
+        var x = l.removeLast();
+        return x * 10 + l.size();
+    """)
+    assert result == 32
+
+
+def test_vector_is_synchronized():
+    result, vm = guest("""
+        var v = new Vector();
+        var i = 0;
+        while (i < 12) { v.add(i); i = i + 1; }
+        return v.get(5) + v.size();
+    """)
+    assert result == 17
+    assert vm.counters.synch >= 14       # add x12 + get + size
+
+
+def test_hashmap_put_get_update_resize():
+    result, _ = guest("""
+        var m = new HashMap();
+        var i = 0;
+        while (i < 50) { m.put("k" + i, i); i = i + 1; }
+        m.put("k7", 700);
+        var missing = 0;
+        if (m.get("nope") == null) { missing = 1; }
+        return m.size() * 10000 + m.get("k7") + missing;
+    """)
+    assert result == 50 * 10000 + 701
+
+
+def test_hashmap_keys_and_contains():
+    result, _ = guest("""
+        var m = new HashMap();
+        m.put(3, "x"); m.put(11, "y");
+        var ok = 0;
+        if (m.contains(3)) { ok = ok + 1; }
+        if (!m.contains(4)) { ok = ok + 1; }
+        return ok * 100 + m.keys().size();
+    """)
+    assert result == 202
+
+
+def test_concurrent_queue_fifo():
+    result, _ = guest("""
+        var q = new ConcurrentQueue();
+        q.offer(1); q.offer(2); q.offer(3);
+        var a = q.poll();
+        var b = q.poll();
+        var empty = 0;
+        q.poll();
+        if (q.poll() == null) { empty = 1; }
+        return a * 100 + b * 10 + empty;
+    """)
+    assert result == 121
+
+
+def test_blocking_queue_producer_consumer():
+    result, vm = guest("""
+        var q = new BlockingQueue(4);
+        var sum = new AtomicLong(0);
+        var t = new Thread(fun () {
+            var i = 0;
+            while (i < 50) { sum.getAndAdd(q.take()); i = i + 1; }
+        });
+        t.start();
+        var i = 0;
+        while (i < 50) { q.put(i); i = i + 1; }
+        t.join();
+        return sum.get();
+    """)
+    assert result == sum(range(50))
+    assert vm.counters.wait > 0          # capacity 4 forces blocking
+
+
+def test_atomic_long_operations():
+    result, _ = guest("""
+        var a = new AtomicLong(10);
+        var old = a.getAndAdd(5);
+        var now = a.incrementAndGet();
+        var swapped = a.compareAndSet(16, 99);
+        return old * 10000 + now * 100 + swapped * 10 + a.get() % 10;
+    """)
+    assert result == 10 * 10000 + 16 * 100 + 1 * 10 + 9
+
+
+def test_atomic_ref_get_and_set():
+    result, _ = guest("""
+        var r = new AtomicRef("a");
+        var old = r.getAndSet("b");
+        var ok = 0;
+        if (old == "a") { ok = 1; }
+        if (r.get() == "b") { ok = ok + 1; }
+        return ok;
+    """)
+    assert result == 2
+
+
+def test_random_is_deterministic_and_bounded():
+    result, vm = guest("""
+        var r1 = new Random(123);
+        var r2 = new Random(123);
+        var same = 1;
+        var bounded = 1;
+        var i = 0;
+        while (i < 30) {
+            var a = r1.nextInt(10);
+            if (a != r2.nextInt(10)) { same = 0; }
+            if (a < 0) { bounded = 0; }
+            if (a > 9) { bounded = 0; }
+            i = i + 1;
+        }
+        var d = r1.nextDouble();
+        var dok = 0;
+        if (d >= 0.0) { if (d < 1.0) { dok = 1; } }
+        return same * 100 + bounded * 10 + dok;
+    """)
+    assert result == 111
+    assert vm.counters.atomic > 0        # CAS-based seed updates
+
+
+def test_plain_random_uses_no_atomics():
+    result, vm = guest("""
+        var r = new PlainRandom(5);
+        var acc = 0.0;
+        var i = 0;
+        while (i < 20) { acc = acc + r.nextDouble(); i = i + 1; }
+        return d2i(acc * 100.0);
+    """)
+    assert 0 < result < 2000
+    assert vm.counters.atomic == 0
+
+
+def test_promise_complete_then_get():
+    result, _ = guest("""
+        var p = new Promise();
+        p.complete(42);
+        var again = p.complete(43);      // second completion refused
+        return p.get() * 10 + again;
+    """)
+    assert result == 420
+
+
+def test_promise_get_blocks_until_completion():
+    result, vm = guest("""
+        var p = new Promise();
+        var t = new Thread(fun () { p.complete(7); });
+        var waiter = new Thread(fun () { });
+        t.daemon = true;
+        t.start();
+        return p.get();
+    """)
+    assert result == 7
+
+
+def test_promise_map_and_flatmap():
+    result, _ = guest("""
+        var p = new Promise();
+        var q = p.map(fun (x) x * 2);
+        var r = q.flatMap(fun (x) Promise.done(x + 1));
+        p.complete(10);
+        return r.get();
+    """)
+    assert result == 21
+
+
+def test_promise_on_complete_after_done_runs_immediately():
+    result, _ = guest("""
+        var p = Promise.done(5);
+        var box = new AtomicLong(0);
+        p.onComplete(fun (v) { box.set(v * 3); });
+        return box.get();
+    """)
+    assert result == 15
+
+
+def test_thread_pool_submit_and_shutdown():
+    result, _ = guest("""
+        var pool = new ThreadPool(3);
+        var futures = new ArrayList();
+        var i = 0;
+        while (i < 10) {
+            var k = i;
+            futures.add(pool.submit(fun () k * k));
+            i = i + 1;
+        }
+        var acc = 0;
+        i = 0;
+        while (i < futures.size()) {
+            var f = cast(Promise, futures.get(i));
+            acc = acc + f.get();
+            i = i + 1;
+        }
+        pool.shutdown();
+        return acc;
+    """)
+    assert result == sum(k * k for k in range(10))
+
+
+def test_fork_join_task():
+    result, _ = guest("""
+        var pool = new ThreadPool(2);
+        var t1 = new ForkJoinTask(pool, fun () 20).fork();
+        var t2 = new ForkJoinTask(pool, fun () 22).fork();
+        var out = t1.join() + t2.join();
+        pool.shutdown();
+        return out;
+    """)
+    assert result == 42
+
+
+def test_countdown_latch():
+    result, _ = guest("""
+        var latch = new CountDownLatch(3);
+        var acc = new AtomicLong(0);
+        var i = 0;
+        while (i < 3) {
+            var t = new Thread(fun () {
+                acc.incrementAndGet();
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            i = i + 1;
+        }
+        latch.await();
+        return acc.get();
+    """)
+    assert result == 3
+
+
+def test_stream_map_filter_reduce_foreach():
+    result, _ = guest("""
+        var s = Stream.range(0, 10);
+        var acc = new AtomicLong(0);
+        s.forEach(fun (x) { acc.getAndAdd(x); });
+        var v = s.map(fun (x) x * x)
+                 .filter(fun (x) x % 2 == 0)
+                 .reduce(0, fun (a, b) a + b);
+        return acc.get() * 1000 + v;
+    """)
+    # squares of 0..9 that are even: 0,4,16,36,64 = 120
+    assert result == 45 * 1000 + 120
+
+
+def test_stream_par_map_matches_sequential():
+    result, _ = guest("""
+        var pool = new ThreadPool(3);
+        var s = Stream.range(0, 30);
+        var par = s.parMap(pool, 4, fun (x) x * 3).sum();
+        var seq = s.map(fun (x) x * 3).sum();
+        pool.shutdown();
+        var ok = 0;
+        if (par == seq) { ok = 1; }
+        return ok * 100000 + par;
+    """)
+    assert result == 100000 + 3 * sum(range(30))
+
+
+def test_stm_atomic_commit_and_isolation():
+    result, vm = guest("""
+        var a = new STMRef(100);
+        var b = new STMRef(0);
+        STM.atomic(fun (txn) {
+            var v = txn.read(a);
+            txn.write(a, v - 30);
+            txn.write(b, txn.read(b) + 30);
+            return 0;
+        });
+        return a.value * 1000 + b.value;
+    """)
+    assert result == 70 * 1000 + 30
+
+
+def test_stm_conflicting_transactions_retry():
+    result, _ = guest("""
+        var counter = new STMRef(0);
+        var latch = new CountDownLatch(4);
+        var w = 0;
+        while (w < 4) {
+            var t = new Thread(fun () {
+                var i = 0;
+                while (i < 25) {
+                    STM.atomic(fun (txn) {
+                        txn.write(counter, txn.read(counter) + 1);
+                        return 0;
+                    });
+                    i = i + 1;
+                }
+                latch.countDown();
+            });
+            t.daemon = true;
+            t.start();
+            w = w + 1;
+        }
+        latch.await();
+        return counter.value;
+    """)
+    assert result == 100                 # atomicity despite contention
+
+
+def test_text_split_join_repeat():
+    result, _ = guest("""
+        var parts = Text.split("a,bb,ccc", ',');
+        var joined = Text.join(parts, "-");
+        var ok = 0;
+        if (joined == "a-bb-ccc") { ok = 1; }
+        if (Text.repeat("ab", 3) == "ababab") { ok = ok + 1; }
+        return ok * 10 + parts.size();
+    """)
+    assert result == 23

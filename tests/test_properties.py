@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.stats import geomean, mean, winsorize
+from repro.jvm.cache import CacheModel
+from repro.jvm.interpreter import _rem_int, _truediv_int
+from repro.lang.lexer import tokenize
+from tests.util import run_guest
+
+ints = st.integers(min_value=-10**9, max_value=10**9)
+small_ints = st.integers(min_value=-999, max_value=999)
+
+
+@given(a=ints, b=ints.filter(lambda v: v != 0))
+def test_java_division_identity(a, b):
+    """a == (a / b) * b + (a % b), with |a % b| < |b| (JLS 15.17)."""
+    q = _truediv_int(a, b)
+    r = _rem_int(a, b)
+    assert q * b + r == a
+    assert abs(r) < abs(b)
+    assert r == 0 or (r > 0) == (a > 0)
+
+
+@given(values=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                 min_value=-1e6, max_value=1e6),
+                       min_size=1, max_size=30))
+def test_winsorize_preserves_length_and_bounds(values):
+    out = winsorize(values)
+    assert len(out) == len(values)
+    assert min(out) >= min(values)
+    assert max(out) <= max(values)
+    # winsorizing cannot move the mean outside the original range
+    assert min(values) <= mean(out) <= max(values)
+
+
+@given(values=st.lists(st.floats(min_value=0.1, max_value=1e6),
+                       min_size=1, max_size=20))
+def test_geomean_between_min_and_max(values):
+    g = geomean(values)
+    tolerance = 1e-9 * max(1.0, max(values))
+    assert min(values) - tolerance <= g <= max(values) + tolerance
+
+
+@given(word=st.text(alphabet=st.characters(min_codepoint=97,
+                                           max_codepoint=122),
+                    min_size=1, max_size=12))
+def test_lexer_identifier_roundtrip(word):
+    tokens = tokenize(word)
+    assert tokens[-1].kind == "eof"
+    assert tokens[0].value == word
+    assert tokens[0].kind in ("ident", "kw")
+
+
+@given(n=st.integers(min_value=0, max_value=10**12))
+def test_lexer_integer_roundtrip(n):
+    tokens = tokenize(str(n))
+    assert tokens[0].kind == "int"
+    assert tokens[0].value == n
+
+
+@given(addrs=st.lists(st.integers(min_value=0, max_value=10**6),
+                      min_size=1, max_size=200))
+def test_cache_model_is_deterministic_and_counts_consistently(addrs):
+    a = CacheModel(cores=2)
+    b = CacheModel(cores=2)
+    pa = [a.access(i % 2, addr) for i, addr in enumerate(addrs)]
+    pb = [b.access(i % 2, addr) for i, addr in enumerate(addrs)]
+    assert pa == pb
+    assert a.l1_misses == b.l1_misses
+    assert a.llc_misses <= a.l1_misses       # LLC misses imply L1 misses
+    assert a.total_misses == a.l1_misses + a.llc_misses
+
+
+@settings(deadline=None, max_examples=15)
+@given(a=small_ints, b=small_ints, c=small_ints.filter(lambda v: v != 0))
+def test_guest_arithmetic_matches_host_semantics(a, b, c):
+    """The interpreter's arithmetic agrees with the reference semantics
+    for randomly chosen operand triples."""
+    src = """
+    class Main {
+        static def main(a, b, c) {
+            return (a + b) * 2 - a / c + a % c;
+        }
+    }"""
+    result, _ = run_guest(src, args=(a, b, c))
+    expected = (a + b) * 2 - _truediv_int(a, c) + _rem_int(a, c)
+    assert result == expected
+
+
+@settings(deadline=None, max_examples=10)
+@given(values=st.lists(st.integers(min_value=-50, max_value=50),
+                       min_size=1, max_size=12))
+def test_guest_arraylist_preserves_order(values):
+    src = """
+    class Main {
+        static def main(n, seed) {
+            var l = new ArrayList();
+            var x = seed;
+            var i = 0;
+            while (i < n) {
+                l.add(x);
+                x = (x * 31 + 7) % 1000;
+                i = i + 1;
+            }
+            var acc = 0;
+            i = 0;
+            while (i < l.size()) {
+                acc = acc * 1000 + l.get(i) + 500;
+                i = i + 1;
+            }
+            return acc;
+        }
+    }"""
+    n, seed = len(values), values[0]
+    result, _ = run_guest(src, args=(n, seed))
+    expected = 0
+    x = seed
+    for _ in range(n):
+        expected = expected * 1000 + x + 500
+        x = _rem_int(x * 31 + 7, 1000)     # guest % truncates toward zero
+    assert result == expected
+
+
+@settings(deadline=None, max_examples=8)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_scheduler_runs_are_reproducible(seed):
+    """Two VMs with the same schedule seed produce identical wall
+    clocks and results for a concurrent workload."""
+    src = """
+    class Main {
+        static def main() {
+            var c = new AtomicLong(0);
+            var latch = new CountDownLatch(3);
+            var w = 0;
+            while (w < 3) {
+                var t = new Thread(fun () {
+                    var i = 0;
+                    while (i < 20) { c.incrementAndGet(); i = i + 1; }
+                    latch.countDown();
+                });
+                t.start();
+                w = w + 1;
+            }
+            latch.await();
+            return c.get();
+        }
+    }"""
+    r1, vm1 = run_guest(src, seed=seed)
+    r2, vm2 = run_guest(src, seed=seed)
+    assert r1 == r2 == 60
+    assert vm1.scheduler.clock == vm2.scheduler.clock
+    assert vm1.counters.reference_cycles == vm2.counters.reference_cycles

@@ -1,0 +1,133 @@
+"""Tests for the statistics helpers, metric normalization and PCA."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness.stats import (
+    confidence_interval,
+    geomean,
+    mean,
+    relative_impact,
+    stdev,
+    welch_t_test,
+    winsorize,
+)
+from repro.metrics import METRIC_NAMES, normalize_metrics, run_pca
+
+
+def test_mean_and_stdev():
+    assert mean([1, 2, 3]) == 2
+    assert mean([]) == 0.0
+    assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+    assert stdev([5]) == 0.0
+
+
+def test_geomean():
+    assert geomean([1, 100]) == pytest.approx(10.0, rel=1e-9)
+    assert geomean([]) == 0.0
+    assert geomean([0, 10]) == pytest.approx(10.0)  # non-positives ignored
+
+
+def test_winsorize_clamps_tails():
+    values = [100, 1, 2, 3, 4, 5, 6, 7, 8, -50]
+    clamped = winsorize(values, fraction=0.1)
+    assert max(clamped) < 100
+    assert min(clamped) > -50
+    assert len(clamped) == len(values)
+    assert winsorize([]) == []
+
+
+def test_welch_distinguishes_separated_samples():
+    a = [100.0, 101.0, 99.0, 100.5, 99.5]
+    b = [150.0, 151.0, 149.0, 150.5, 149.5]
+    assert welch_t_test(a, b) < 0.001
+    assert welch_t_test(a, a) > 0.5
+
+
+def test_welch_degenerate_cases():
+    assert welch_t_test([1.0], [2.0]) == 1.0          # underpowered
+    assert welch_t_test([5.0, 5.0], [5.0, 5.0]) == 1.0
+    assert welch_t_test([5.0, 5.0], [6.0, 6.0]) == 0.0
+
+
+def test_confidence_interval_contains_mean():
+    values = [10.0, 11.0, 9.0, 10.5, 9.5]
+    lo, hi = confidence_interval(values, 0.99)
+    assert lo < mean(values) < hi
+    same = confidence_interval([3.0, 3.0])
+    assert same == (3.0, 3.0)
+
+
+def test_relative_impact_direction():
+    assert relative_impact([110.0], [100.0]) == pytest.approx(0.10)
+    assert relative_impact([90.0], [100.0]) == pytest.approx(-0.10)
+    assert relative_impact([1.0], [0.0]) == 0.0
+
+
+# ----------------------------------------------------------------------
+def test_normalize_metrics_divides_by_cycles():
+    raw = {name: 100 for name in METRIC_NAMES}
+    raw["cpu"] = 50.0
+    out = normalize_metrics(raw, 1000)
+    assert out["atomic"] == 0.1
+    assert out["cpu"] == 0.5
+
+
+def test_normalize_requires_positive_cycles():
+    with pytest.raises(ValueError):
+        normalize_metrics({}, 0)
+
+
+def _fake_rows(n=8, concurrency=False, seed=1):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        row = {name: float(rng.random() * 1e-4) for name in METRIC_NAMES}
+        row["cpu"] = float(rng.random())
+        if concurrency:
+            row["atomic"] = float(0.01 + rng.random() * 0.01)
+            row["park"] = float(0.005 + rng.random() * 0.005)
+        rows.append(row)
+    return rows
+
+
+def test_pca_shapes_and_variance():
+    rows = _fake_rows(10)
+    result = run_pca(rows, [f"b{i}" for i in range(10)], ["s"] * 10)
+    k = len(METRIC_NAMES)
+    assert result.loadings.shape == (k, min(k, 10))
+    assert result.scores.shape[0] == 10
+    assert 0.0 < result.variance_fraction(4) <= 1.0 + 1e-9
+
+
+def test_pca_loading_table_sorted_by_magnitude():
+    rows = _fake_rows(12)
+    result = run_pca(rows, [f"b{i}" for i in range(12)], ["s"] * 12)
+    for column in result.loading_table(2):
+        magnitudes = [abs(v) for _, v in column]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+
+def test_pca_separates_concurrency_heavy_suite():
+    rows = _fake_rows(8) + _fake_rows(8, concurrency=True, seed=2)
+    names = [f"b{i}" for i in range(16)]
+    suites = ["plain"] * 8 + ["conc"] * 8
+    result = run_pca(rows, names, suites)
+    # Some PC must separate the two groups: find the best one among the
+    # first four and check the group means differ significantly.
+    separated = False
+    for pc in range(min(4, result.scores.shape[1])):
+        plain = result.suite_scores("plain", pc)
+        conc = result.suite_scores("conc", pc)
+        gap = abs(mean(plain) - mean(conc))
+        spread = stdev(plain) + stdev(conc) + 1e-12
+        if gap > spread:
+            separated = True
+    assert separated
+
+
+def test_pca_requires_enough_rows():
+    with pytest.raises(ValueError):
+        run_pca(_fake_rows(2), ["a", "b"], ["s", "s"])

@@ -1,0 +1,105 @@
+"""Suite-level tests: every benchmark compiles and validates; a sample
+runs under the JIT with semantic agreement; the suite metric profiles
+have the paper's shape."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.core import Runner
+from repro.suites.registry import SUITES, all_benchmarks, benchmarks_of, get_benchmark
+
+EXPECTED_SIZES = {"renaissance": 21, "dacapo": 14, "scalabench": 12,
+                  "specjvm": 21}
+
+
+def test_suite_sizes_match_paper():
+    for suite, size in EXPECTED_SIZES.items():
+        assert len(benchmarks_of(suite)) == size
+    assert len(all_benchmarks()) == 68
+
+
+def test_benchmark_names_unique_within_suite():
+    # "sunflow" exists in both DaCapo and SPECjvm2008, as in the real
+    # suites (paper Table 6) — names are unique per suite only.
+    keys = [(b.suite, b.name) for b in all_benchmarks()]
+    assert len(keys) == len(set(keys))
+
+
+def test_get_benchmark_lookup():
+    assert get_benchmark("scrabble").suite == "renaissance"
+    with pytest.raises(Exception):
+        get_benchmark("nope")
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_benchmark_compiles(bench):
+    program = bench.compile()
+    assert "Bench" in program.by_name
+    assert program.by_name["Bench"].has_method("run")
+
+
+# A cross-suite sample runs fully under interpreter + JIT and agrees.
+_SAMPLE = ["scrabble", "philosophers", "reactors", "avrora", "jython",
+           "factorie", "kiama", "scimark.lu.small", "crypto.rsa", "derby"]
+
+
+@pytest.mark.parametrize("name", _SAMPLE)
+def test_sample_benchmark_interp_vs_jit(name):
+    bench = get_benchmark(name)
+    small = dataclasses.replace(bench, warmup=3, measure=1)
+    interp = Runner(small, jit=None).run(warmup=0, measure=1)
+    jit = Runner(small, jit="graal").run()
+    assert jit.vm.jit.failed == {}
+    if bench.expected is not None:
+        assert interp.iterations[0].result == bench.expected
+    if bench.deterministic:
+        assert interp.iterations[0].result == jit.iterations[-1].result
+
+
+def test_renaissance_uses_concurrency_primitives_more_than_others():
+    """The paper's core diversity claim, in miniature: Renaissance's
+    atomic+park+wait rates dwarf the comparison suites'."""
+    from repro.metrics import collect_metrics, normalize_metrics
+
+    def conc_rate(name):
+        bench = get_benchmark(name)
+        raw, cycles = collect_metrics(bench, measure=1)
+        norm = normalize_metrics(raw, cycles)
+        return norm["atomic"] + norm["park"] + norm["wait"] + norm["notify"]
+
+    renaissance = conc_rate("future-genetic")
+    dacapo = conc_rate("batik")
+    specjvm = conc_rate("scimark.sor.small")
+    assert renaissance > 10 * max(dacapo, specjvm, 1e-12)
+
+
+def test_specjvm_has_high_cpu_utilization():
+    from repro.metrics import collect_metrics
+
+    raw, _ = collect_metrics(get_benchmark("scimark.sor.small"), measure=1)
+    assert raw["cpu"] > 40.0          # 4 busy workers on 8 cores
+
+    raw_dacapo, _ = collect_metrics(get_benchmark("fop"), measure=1)
+    assert raw_dacapo["cpu"] < raw["cpu"]
+
+
+def test_scalabench_allocates_more_than_specjvm():
+    from repro.metrics import collect_metrics, normalize_metrics
+
+    def alloc_rate(name):
+        raw, cycles = collect_metrics(get_benchmark(name), measure=1)
+        return normalize_metrics(raw, cycles)["object"]
+
+    assert alloc_rate("factorie") > 3 * alloc_rate("scimark.sor.small")
+
+
+def test_only_renaissance_uses_invokedynamic():
+    from repro.metrics import collect_metrics
+
+    raw_ren, _ = collect_metrics(get_benchmark("scrabble"), measure=1)
+    raw_dacapo, _ = collect_metrics(get_benchmark("tradebeans"), measure=1)
+    raw_scala, _ = collect_metrics(get_benchmark("scalap"), measure=1)
+    assert raw_ren["idynamic"] > 0
+    assert raw_dacapo["idynamic"] == 0
+    assert raw_scala["idynamic"] == 0

@@ -1,0 +1,102 @@
+"""Tests for the VM facade: loading, resolution, reset semantics."""
+
+import pytest
+
+from repro.errors import LinkError, VMError
+from repro.jit.pipeline import graal_config
+from repro.lang import compile_program
+from repro.runtime import VM
+
+SRC = """
+class Counter {
+    static var hits = 0;
+    static def bump() {
+        Counter.hits = Counter.hits + 1;
+        return Counter.hits;
+    }
+}
+class Main {
+    static def main() { return Counter.bump(); }
+}
+"""
+
+
+def test_invoke_by_qualified_name():
+    vm = VM(jit=None)
+    vm.load(compile_program(SRC))
+    assert vm.invoke("Main.main") == 1
+    assert vm.invoke("Main.main") == 2      # statics persist per VM
+
+
+def test_program_reload_resets_statics_and_jit_state():
+    program = compile_program(SRC)
+    vm1 = VM(jit=graal_config(compile_threshold=1))
+    vm1.load(program)
+    for _ in range(5):
+        vm1.invoke("Main.main")
+    method = program.by_name["Main"].methods["main"]
+    assert method.compiled is not None
+
+    vm2 = VM(jit=None)
+    vm2.load(program)
+    assert method.compiled is None          # reset on load
+    assert vm2.invoke("Main.main") == 1     # statics reset too
+
+
+def test_resolve_class_marks_loaded():
+    vm = VM(jit=None)
+    vm.load(compile_program(SRC))
+    # Counter is loaded eagerly (its static initializer ran at load);
+    # Main only becomes loaded once something resolves it.
+    assert "Main" not in vm.loaded_class_names()
+    vm.invoke("Main.main")
+    assert {"Main", "Counter"} <= vm.loaded_class_names()
+
+
+def test_bad_jit_spec_rejected():
+    with pytest.raises(VMError):
+        VM(jit="not-a-compiler")
+
+
+def test_resolve_unknown_class_raises():
+    vm = VM(jit=None)
+    with pytest.raises(LinkError):
+        vm.resolve_class("Ghost")
+
+
+def test_stdout_capture_order():
+    vm = VM(jit=None)
+    vm.load(compile_program("""
+    class Main { static def main() {
+        Sys.print("a");
+        Sys.println("b");
+        Sys.print("c");
+        return 0;
+    } }"""))
+    vm.invoke("Main.main")
+    assert "".join(vm.stdout) == "ab\nc"
+
+
+def test_interval_stats_monotone():
+    vm = VM(jit=None)
+    vm.load(compile_program(SRC))
+    snap = vm.timing_snapshot()
+    vm.invoke("Main.main")
+    stats = vm.interval_stats(snap)
+    assert stats["wall"] > 0
+    assert stats["work"] > 0
+    assert 0.0 < stats["cpu"] <= 1.0
+
+
+def test_builtin_native_classes_present():
+    vm = VM(jit=None)
+    for name in ("Sys", "Math", "Str", "Arrays", "Function", "Object"):
+        assert name in vm.pool
+
+
+def test_jit_string_configs():
+    for spec in ("graal", "c2"):
+        vm = VM(jit=spec)
+        assert vm.jit is not None
+        assert vm.jit.config.name == spec
+    assert VM(jit=None).jit is None

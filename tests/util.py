@@ -1,0 +1,44 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.lang import compile_program
+from repro.runtime import VM
+
+
+@lru_cache(maxsize=512)
+def _compiled(source: str):
+    return compile_program(source)
+
+
+def run_guest(source: str, entry: str = "Main.main", args: tuple = (),
+              jit=None, *, cores: int = 8, seed: int = 0,
+              repeat: int = 1):
+    """Compile and run guest ``source``; returns (result, vm).
+
+    ``repeat`` re-invokes the entry point (useful to let the JIT warm
+    up); the result of the last invocation is returned.
+    """
+    vm = VM(jit=jit, cores=cores, schedule_seed=seed)
+    vm.load(_compiled(source))
+    result = None
+    for _ in range(repeat):
+        result = vm.invoke(entry, list(args))
+    return result, vm
+
+
+def run_all_tiers(source: str, entry: str = "Main.main", args: tuple = (),
+                  repeat: int = 6):
+    """Run under interpreter, Graal and C2; assert identical results."""
+    from repro.jit.pipeline import c2_config, graal_config
+
+    interp, _ = run_guest(source, entry, args, jit=None)
+    graal, gvm = run_guest(source, entry, args,
+                           jit=graal_config(compile_threshold=3),
+                           repeat=repeat)
+    c2, _ = run_guest(source, entry, args,
+                      jit=c2_config(compile_threshold=3), repeat=repeat)
+    assert interp == graal == c2, (interp, graal, c2)
+    return interp, gvm
