@@ -1,0 +1,11 @@
+# Tier-1: the correctness gate (chaos tests excluded via pyproject).
+test:
+	PYTHONPATH=src python -m pytest -x -q
+
+# Tier-2: the full Renaissance sweep under randomized-but-logged fault
+# seeds.  Every run prints its CHAOS_SEED; replay a failure with
+# `CHAOS_SEED=<n> make chaos`.  Never gates tier-1.
+chaos:
+	PYTHONPATH=src python -m pytest -q -m chaos -s
+
+.PHONY: test chaos

@@ -12,7 +12,10 @@ Applications on the JVM" end to end in pure Python:
 - :mod:`repro.suites` — all 68 workloads (Renaissance + comparison suites),
 - :mod:`repro.harness` / :mod:`repro.metrics` / :mod:`repro.ckmetrics` /
   :mod:`repro.analysis` — measurement and per-table/figure experiment
-  drivers.
+  drivers,
+- :mod:`repro.faults` — deterministic fault injection and harness
+  resilience (seeded FaultPlans, watchdog, deadlock diagnostics,
+  quarantined suite sweeps).
 
 Quick start::
 

@@ -69,5 +69,60 @@ class GuestCastError(GuestRuntimeError):
     """Guest checkcast failed."""
 
 
+class GuestOutOfMemoryError(GuestRuntimeError):
+    """Guest exhausted the (simulated) heap.
+
+    Raised either organically when a :class:`repro.jvm.heap.Heap` has a
+    configured ``limit_words``, or by the fault injector
+    (:mod:`repro.faults`) to model heap pressure.  ``injected`` is True
+    in the latter case so the resilience layer knows not to retry.
+    """
+
+    def __init__(self, message: str, *, injected: bool = False) -> None:
+        super().__init__(message)
+        self.injected = injected
+
+
+class InjectedFault(GuestRuntimeError):
+    """A guest exception raised on purpose by the fault injector.
+
+    Always carries ``injected = True``; the resilience layer never
+    retries these (the same plan would refire the same fault).
+    """
+
+    injected = True
+
+
+class ThreadKilledError(GuestRuntimeError):
+    """A guest thread was killed by the fault injector."""
+
+    injected = True
+
+
 class DeadlockError(VMError):
-    """All guest threads are blocked and none can make progress."""
+    """All guest threads are blocked and none can make progress.
+
+    Carries a structured ``thread_dump`` (see
+    :meth:`repro.jvm.scheduler.Scheduler.thread_dump`) with per-thread
+    state, held/waited monitors and the owner cycle, so a failed run is
+    diagnosable without rerunning under a debugger.
+    """
+
+    def __init__(self, message: str, *, thread_dump: dict | None = None) -> None:
+        super().__init__(message)
+        self.thread_dump = thread_dump
+
+
+class WatchdogTimeout(VMError):
+    """The scheduler's global cycle watchdog fired.
+
+    Raised when the simulated clock exceeds ``watchdog_cycles`` — a
+    runaway guest loop aborts with a thread dump instead of hanging the
+    host process.
+    """
+
+    def __init__(self, message: str, *, thread_dump: dict | None = None,
+                 clock: int = 0) -> None:
+        super().__init__(message)
+        self.thread_dump = thread_dump
+        self.clock = clock

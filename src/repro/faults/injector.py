@@ -1,0 +1,149 @@
+"""The fault injector: executes a :class:`FaultPlan` inside one VM.
+
+The injector is wired into the VM at three deterministic choke points:
+
+- **call sites** — :meth:`repro.runtime.vm.VM.call` invokes
+  :meth:`on_call` for every guest method call, so ``oom`` /
+  ``guest-exception`` / ``delay`` specs fire at the Nth *matching* call
+  site, independent of wall time.  (Entry frames — the benchmark's
+  ``Bench.run`` invocation itself and thread bodies — are not call
+  sites; calls *they make* are.  Under a JIT config, calls the compiler
+  inlines away stop being call sites too, exactly as on a real JVM.);
+- **allocations** — :attr:`repro.jvm.heap.Heap.fault_hook` invokes
+  :meth:`on_alloc`, modelling heap pressure against the plan's
+  ``heap_limit_words``;
+- **scheduler slices** — :attr:`repro.jvm.scheduler.Scheduler.fault_hook`
+  invokes :meth:`on_slice`, where ``thread-kill`` and ``sched-jitter``
+  specs fire at the Nth slice.
+
+All counters are injector-local and every random draw comes from
+``random.Random(plan.seed)``, so a given ``(plan, VM seeds)`` pair
+always produces the identical fault trace.
+"""
+
+from __future__ import annotations
+
+import random
+from fnmatch import fnmatchcase
+
+from repro.errors import GuestOutOfMemoryError, InjectedFault
+from repro.faults.plan import CALL_KINDS, SLICE_KINDS, FaultEvent, FaultPlan
+
+
+class FaultInjector:
+    """Stateful executor of one :class:`FaultPlan` for one VM run."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self._call_specs = [s for s in plan.specs if s.kind in CALL_KINDS]
+        self._slice_specs = [s for s in plan.specs if s.kind in SLICE_KINDS]
+        # Per-spec occurrence counters (how many events matched so far).
+        self._matches: dict[int, int] = {id(s): 0 for s in plan.specs}
+        self._fired: dict[int, int] = {id(s): 0 for s in plan.specs}
+        self.trace: list[FaultEvent] = []
+        self._vm = None
+
+    # ------------------------------------------------------------------
+    # Wiring.
+    # ------------------------------------------------------------------
+    def attach(self, vm) -> None:
+        """Install the hooks this plan needs (and only those)."""
+        self._vm = vm
+        if self._slice_specs:
+            vm.scheduler.fault_hook = self.on_slice
+        if self.plan.heap_limit_words is not None:
+            vm.heap.limit_words = self.plan.heap_limit_words
+        # on_call is dispatched by VM.call via `vm.faults`.
+
+    @property
+    def wants_calls(self) -> bool:
+        return bool(self._call_specs)
+
+    def _record(self, kind: str, site: str, occurrence: int, thread: str,
+                detail: str = "") -> FaultEvent:
+        clock = self._vm.scheduler.clock if self._vm is not None else 0
+        event = FaultEvent(kind, site, occurrence, clock, thread, detail)
+        self.trace.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Call-site faults.
+    # ------------------------------------------------------------------
+    def on_call(self, vm, thread, method) -> None:
+        qualified = method.qualified
+        for spec in self._call_specs:
+            if not fnmatchcase(qualified, spec.site):
+                continue
+            sid = id(spec)
+            self._matches[sid] += 1
+            n = self._matches[sid]
+            if not (spec.at <= n < spec.at + spec.count):
+                continue
+            self._fired[sid] += 1
+            if spec.kind == "delay":
+                self._record("delay", qualified, n, thread.name,
+                             f"+{spec.cycles} cycles")
+                vm.charge(thread, spec.cycles)
+            elif spec.kind == "oom":
+                self._record("oom", qualified, n, thread.name, spec.message)
+                raise GuestOutOfMemoryError(
+                    f"injected OOM at {qualified} (occurrence {n})"
+                    + (f": {spec.message}" if spec.message else ""),
+                    injected=True)
+            else:  # guest-exception
+                self._record("guest-exception", qualified, n, thread.name,
+                             spec.message)
+                raise InjectedFault(
+                    f"injected fault at {qualified} (occurrence {n})"
+                    + (f": {spec.message}" if spec.message else ""))
+
+    # ------------------------------------------------------------------
+    # Allocation faults (heap pressure).
+    # ------------------------------------------------------------------
+    def on_alloc(self, words: int) -> None:
+        """Installed as Heap.fault_hook only when a plan needs custom
+        allocation behaviour beyond `heap_limit_words` (reserved)."""
+
+    # ------------------------------------------------------------------
+    # Slice faults.
+    # ------------------------------------------------------------------
+    def on_slice(self, scheduler) -> None:
+        for spec in self._slice_specs:
+            sid = id(spec)
+            if spec.kind == "thread-kill":
+                if self._fired[sid] >= spec.count:
+                    continue
+                if scheduler.slices < spec.at:
+                    continue
+                victim = next(
+                    (t for t in scheduler.threads
+                     if t.alive and fnmatchcase(t.name, spec.site)
+                     and not t.daemon),
+                    None,
+                )
+                if victim is None:
+                    continue
+                self._fired[sid] += 1
+                self._record("thread-kill", victim.name, scheduler.slices,
+                             victim.name, spec.message)
+                scheduler.kill(victim, spec.message or "fault injection")
+            else:  # sched-jitter
+                if self._fired[sid] >= spec.count:
+                    continue
+                if scheduler.slices % spec.at != 0:
+                    continue
+                self._fired[sid] += 1
+                if len(scheduler.runnable) > 1:
+                    shift = self.rng.randrange(len(scheduler.runnable))
+                    scheduler.runnable.rotate(shift)
+                    self._record("sched-jitter", "*", scheduler.slices, "",
+                                 f"rotate {shift}")
+                else:
+                    self.rng.randrange(2)   # keep the draw sequence stable
+                    self._record("sched-jitter", "*", scheduler.slices, "",
+                                 "rotate 0")
+
+    # ------------------------------------------------------------------
+    def trace_dicts(self) -> tuple[dict, ...]:
+        return tuple(e.to_dict() for e in self.trace)

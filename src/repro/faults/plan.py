@@ -1,0 +1,148 @@
+"""Fault plans: declarative, seeded descriptions of what to break.
+
+A :class:`FaultPlan` is a pure value — ``(seed, specs, heap_limit)`` —
+and the whole fault subsystem is a deterministic function of it plus the
+VM's own seeds.  Injecting the same plan twice therefore yields
+bit-identical fault traces and :class:`~repro.faults.FailureReport`\\ s,
+which is what makes an injected failure *reproducible*: ship the plan
+from the report, rerun, observe the same crash.
+
+Fault kinds
+-----------
+``oom``
+    Raise :class:`~repro.errors.GuestOutOfMemoryError` at the Nth call
+    of a method matching ``site`` (a glob over ``Class.method``).
+``guest-exception``
+    Raise :class:`~repro.errors.InjectedFault` at the Nth matching call.
+``delay``
+    Charge ``cycles`` extra guest cycles at the Nth matching call (and
+    the ``count - 1`` following matches) — models a slow dependency.
+``thread-kill``
+    At scheduler slice ``at``, kill the first alive guest thread whose
+    name matches ``site``.
+``sched-jitter``
+    Every ``at`` slices (up to ``count`` times), rotate the run queue by
+    a plan-seeded amount — extra scheduling perturbation beyond the
+    VM's own seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+
+from repro.errors import ReproError
+
+KINDS = ("oom", "guest-exception", "delay", "thread-kill", "sched-jitter")
+
+#: Kinds triggered at call sites (the rest trigger at scheduler slices).
+CALL_KINDS = frozenset({"oom", "guest-exception", "delay"})
+SLICE_KINDS = frozenset({"thread-kill", "sched-jitter"})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what to inject, where, and at which occurrence."""
+
+    kind: str
+    #: Glob over the method's qualified name (call kinds) or the guest
+    #: thread name (thread-kill); ignored for sched-jitter.
+    site: str = "*"
+    #: 1-based occurrence (matching call / scheduler slice) to fire at;
+    #: for sched-jitter this is the firing period in slices.
+    at: int = 1
+    #: Number of consecutive occurrences to fire on.
+    count: int = 1
+    #: Extra guest cycles charged per firing (delay only).
+    cycles: int = 0
+    #: Human-readable message carried by the injected exception.
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ReproError(f"unknown fault kind {self.kind!r}; have {KINDS}")
+        if self.at < 1:
+            raise ReproError(f"fault 'at' must be >= 1, got {self.at}")
+        if self.count < 1:
+            raise ReproError(f"fault 'count' must be >= 1, got {self.count}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable set of faults to inject into one VM."""
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+    #: Optional heap budget in words; allocations past it raise
+    #: GuestOutOfMemoryError (heap-pressure OOM).
+    heap_limit_words: int | None = None
+
+    def __post_init__(self) -> None:
+        # Tolerate lists for ergonomic construction.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors.
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, kind: str, *, seed: int = 0, **spec_kwargs) -> FaultPlan:
+        return cls(seed=seed, specs=(FaultSpec(kind, **spec_kwargs),))
+
+    @classmethod
+    def randomized(cls, seed: int, *, nfaults: int = 1,
+                   sites: tuple[str, ...] = ("*",)) -> FaultPlan:
+        """A chaos plan: ``nfaults`` faults drawn deterministically from
+        ``seed``.  Logged seeds make every chaos run replayable."""
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(nfaults):
+            kind = rng.choice(KINDS)
+            if kind in CALL_KINDS:
+                spec = FaultSpec(
+                    kind, site=rng.choice(sites),
+                    at=rng.randrange(1, 500),
+                    cycles=rng.randrange(1000, 100000) if kind == "delay" else 0,
+                    message=f"chaos[{seed}]",
+                )
+            elif kind == "thread-kill":
+                spec = FaultSpec(kind, site="*", at=rng.randrange(1, 50),
+                                 message=f"chaos[{seed}]")
+            else:  # sched-jitter
+                spec = FaultSpec(kind, at=rng.randrange(2, 13),
+                                 count=rng.randrange(1, 100))
+            specs.append(spec)
+        return cls(seed=seed, specs=tuple(specs))
+
+    # ------------------------------------------------------------------
+    # Serialization (FailureReport embeds plans as plain dicts).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "heap_limit_words": self.heap_limit_words,
+            "specs": [asdict(s) for s in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FaultPlan:
+        return cls(
+            seed=data.get("seed", 0),
+            specs=tuple(FaultSpec(**s) for s in data.get("specs", ())),
+            heap_limit_words=data.get("heap_limit_words"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault firing, recorded in the injector's trace."""
+
+    kind: str
+    site: str
+    occurrence: int       # which match fired (1-based)
+    clock: int            # simulated clock at firing time
+    thread: str           # guest thread name ("" for slice-level faults)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)

@@ -1,0 +1,265 @@
+"""Harness resilience: survive and diagnose benchmark failures.
+
+:class:`ResilientRunner` wraps :class:`repro.harness.core.Runner` with
+
+- a per-iteration cycle budget (the scheduler watchdog turns runaway
+  guest loops into :class:`~repro.errors.WatchdogTimeout`),
+- bounded retry-with-reseed for ``deterministic=False`` benchmarks whose
+  failure is plausibly an unlucky interleaving (never for injected
+  faults — the same plan would refire them), and
+- a :class:`~repro.faults.report.FailureReport` instead of a raised
+  exception, so callers decide whether a failure is fatal.
+
+:func:`run_suite` runs a whole suite with per-benchmark isolation: one
+sick workload is quarantined and reported while the remaining ones keep
+running (``continue_on_error=True``, the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DeadlockError,
+    GuestRuntimeError,
+    ReproError,
+    WatchdogTimeout,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FailureReport
+from repro.harness.core import GuestBenchmark, Runner, RunResult, \
+    ValidationError, config_name
+
+#: Default per-iteration cycle budget: generous (every suite workload
+#: finishes an iteration well under this), yet finite, so nothing hangs.
+DEFAULT_ITERATION_BUDGET = 200_000_000
+
+#: Errors a different schedule seed can plausibly dodge.
+_RETRYABLE = (ValidationError, DeadlockError, WatchdogTimeout)
+
+#: Fault-trace kinds that abort the guest (a retry would just refire).
+_DESTRUCTIVE_KINDS = frozenset({"oom", "guest-exception", "thread-kill"})
+
+
+@dataclass
+class ResilientResult:
+    """Outcome of one resilient run: a result XOR a failure report."""
+
+    benchmark: str
+    config: str
+    result: RunResult | None = None
+    failure: FailureReport | None = None
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class ResilientRunner:
+    """A :class:`Runner` that reports failures instead of dying on them."""
+
+    def __init__(self, benchmark: GuestBenchmark, *, jit="graal",
+                 cores: int = 8, schedule_seed: int = 0, plugins: tuple = (),
+                 faults: FaultPlan | None = None,
+                 iteration_budget: int | None = DEFAULT_ITERATION_BUDGET,
+                 max_retries: int = 2, reseed_stride: int = 1_000_003) -> None:
+        self.benchmark = benchmark
+        self.jit = jit
+        self.cores = cores
+        self.schedule_seed = schedule_seed
+        self.plugins = tuple(plugins)
+        self.faults = faults
+        self.iteration_budget = iteration_budget
+        self.max_retries = max_retries
+        self.reseed_stride = reseed_stride
+
+    # ------------------------------------------------------------------
+    def run(self, warmup: int | None = None,
+            measure: int | None = None) -> ResilientResult:
+        bench = self.benchmark
+        config = config_name(self.jit)
+        attempt = 0
+        while True:
+            seed = self.schedule_seed + attempt * self.reseed_stride
+            runner = Runner(
+                bench, jit=self.jit, cores=self.cores, schedule_seed=seed,
+                plugins=self.plugins, faults=self.faults,
+                iteration_budget=self.iteration_budget)
+            try:
+                result = runner.run(warmup=warmup, measure=measure)
+            except ReproError as exc:
+                if self._should_retry(exc, runner, attempt):
+                    attempt += 1
+                    continue
+                report = self._report(exc, runner, seed, config, attempt)
+                for plugin in self.plugins:
+                    on_fault = getattr(plugin, "on_fault", None)
+                    if on_fault is not None:
+                        on_fault(runner.last_vm, bench, report)
+                return ResilientResult(bench.name, config, failure=report,
+                                       retries=attempt)
+            return ResilientResult(bench.name, config, result=result,
+                                   retries=attempt)
+
+    # ------------------------------------------------------------------
+    def _should_retry(self, exc: ReproError, runner: Runner,
+                      attempt: int) -> bool:
+        if attempt >= self.max_retries:
+            return False
+        # Only nondeterministic benchmarks may legitimately fail under
+        # one interleaving and pass under another (the paper: "it is not
+        # possible to achieve full determinism in concurrent
+        # benchmarks").
+        if self.benchmark.deterministic:
+            return False
+        if not isinstance(exc, _RETRYABLE):
+            return False
+        # Never retry a failure the fault plan caused on purpose.
+        if getattr(exc, "injected", False):
+            return False
+        injector = runner.last_injector
+        if injector is not None and any(
+                e.kind in _DESTRUCTIVE_KINDS for e in injector.trace):
+            return False
+        return True
+
+    def _report(self, exc: ReproError, runner: Runner, seed: int,
+                config: str, retries: int) -> FailureReport:
+        injector = runner.last_injector
+        vm = runner.last_vm
+        thread_dump = getattr(exc, "thread_dump", None)
+        if thread_dump is None and vm is not None \
+                and isinstance(exc, GuestRuntimeError):
+            thread_dump = vm.scheduler.thread_dump()
+        warmup_flag = getattr(exc, "warmup", None)
+        iteration = getattr(exc, "iteration", None)
+        if warmup_flag is None and iteration is None:
+            phase = "load"
+        else:
+            phase = "warmup" if warmup_flag else "measure"
+        return FailureReport(
+            benchmark=self.benchmark.name,
+            config=config,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            phase=phase,
+            iteration=iteration,
+            schedule_seed=seed,
+            fault_seed=self.faults.seed if self.faults is not None else None,
+            fault_plan=self.faults.to_dict() if self.faults is not None else None,
+            fault_trace=injector.trace_dicts() if injector is not None else (),
+            thread_dump=thread_dump,
+            clock=vm.scheduler.clock if vm is not None else 0,
+            retries=retries,
+        )
+
+
+# ----------------------------------------------------------------------
+# Suite sweeps.
+# ----------------------------------------------------------------------
+class Quarantine:
+    """Benchmarks pulled out of rotation after a failure.
+
+    A quarantine can be shared across repeated sweeps (or separate
+    :func:`run_suite` calls): once a benchmark fails, later sweeps skip
+    it instead of re-triggering the same failure.
+    """
+
+    def __init__(self) -> None:
+        self._reports: dict[str, FailureReport] = {}
+
+    def add(self, report: FailureReport) -> None:
+        self._reports.setdefault(report.benchmark, report)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._reports
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    @property
+    def reports(self) -> dict[str, FailureReport]:
+        return dict(self._reports)
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of one (possibly repeated) suite sweep."""
+
+    suite: str
+    config: str
+    results: list[RunResult] = field(default_factory=list)
+    failures: list[FailureReport] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)   # quarantine skips
+    quarantine: Quarantine = field(default_factory=Quarantine)
+
+    @property
+    def completed(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.skipped
+
+    def format(self) -> str:
+        lines = [
+            f"suite {self.suite} [{self.config}]: "
+            f"{self.completed} completed, {len(self.failures)} failed, "
+            f"{len(self.skipped)} skipped (quarantined)"
+        ]
+        lines.extend(r.format() for r in self.failures)
+        return "\n".join(lines)
+
+
+def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
+              schedule_seed: int = 0, warmup: int | None = None,
+              measure: int | None = None, continue_on_error: bool = True,
+              faults=None, iteration_budget: int | None = DEFAULT_ITERATION_BUDGET,
+              max_retries: int = 2, repeat: int = 1,
+              quarantine: Quarantine | None = None,
+              plugins: tuple = ()) -> SuiteResult:
+    """Run every benchmark of ``suite``, surviving individual failures.
+
+    ``suite`` is a registry suite name or an iterable of
+    :class:`GuestBenchmark`.  ``faults`` is a :class:`FaultPlan` applied
+    to every benchmark, or a ``{benchmark_name: FaultPlan}`` mapping to
+    poison selected workloads.  With ``continue_on_error`` (default) a
+    failing benchmark is quarantined and reported in the returned
+    :class:`SuiteResult`; otherwise the original exception propagates.
+    """
+    if isinstance(suite, str):
+        from repro.suites.registry import benchmarks_of
+        benches = benchmarks_of(suite)
+        suite_name = suite
+    else:
+        benches = tuple(suite)
+        suite_name = benches[0].suite if benches else "custom"
+    if isinstance(faults, FaultPlan) or faults is None:
+        plan_of = {b.name: faults for b in benches}
+    else:
+        plan_of = {b.name: faults.get(b.name) for b in benches}
+
+    out = SuiteResult(
+        suite_name, config_name(jit),
+        quarantine=quarantine if quarantine is not None else Quarantine())
+    for _ in range(repeat):
+        for bench in benches:
+            if bench.name in out.quarantine:
+                out.skipped.append(bench.name)
+                continue
+            runner = ResilientRunner(
+                bench, jit=jit, cores=cores, schedule_seed=schedule_seed,
+                plugins=plugins, faults=plan_of[bench.name],
+                iteration_budget=iteration_budget, max_retries=max_retries)
+            outcome = runner.run(warmup=warmup, measure=measure)
+            if outcome.ok:
+                out.results.append(outcome.result)
+            else:
+                out.failures.append(outcome.failure)
+                out.quarantine.add(outcome.failure)
+                if not continue_on_error:
+                    raise ReproError(
+                        f"suite {suite_name} aborted on "
+                        f"{bench.name}: {outcome.failure.message}")
+    return out

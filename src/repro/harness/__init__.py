@@ -10,11 +10,19 @@
   means and confidence intervals.
 """
 
-from repro.harness.core import GuestBenchmark, IterationResult, Runner, RunResult
-from repro.harness.plugins import HarnessPlugin
+from repro.harness.core import (
+    GuestBenchmark,
+    IterationResult,
+    Runner,
+    RunResult,
+    ValidationError,
+    config_name,
+)
+from repro.harness.plugins import FaultLogPlugin, HarnessPlugin
 from repro.harness.jmh import JmhResult, run_jmh
 
 __all__ = [
     "GuestBenchmark", "IterationResult", "Runner", "RunResult",
-    "HarnessPlugin", "JmhResult", "run_jmh",
+    "ValidationError", "config_name",
+    "HarnessPlugin", "FaultLogPlugin", "JmhResult", "run_jmh",
 ]

@@ -11,8 +11,8 @@ simulated cycles).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 from repro.errors import ReproError
 from repro.lang import compile_program
@@ -42,9 +42,34 @@ class GuestBenchmark:
         return _compiled(self.source)
 
 
-@lru_cache(maxsize=256)
+# Compiled-program cache.  A plain ``lru_cache(maxsize=256)`` thrashes
+# under parametrized test sweeps: hundreds of small one-off sources
+# evict the 68 (expensive) suite benchmarks mid-session and every
+# subsequent Runner recompiles them.  Instead: a true-LRU OrderedDict
+# sized comfortably above the suite corpus, with an explicit clear knob.
+_COMPILE_CACHE: OrderedDict[str, object] = OrderedDict()
+_COMPILE_CACHE_MAX = 1024
+
+
 def _compiled(source: str):
-    return compile_program(source)
+    program = _COMPILE_CACHE.get(source)
+    if program is not None:
+        _COMPILE_CACHE.move_to_end(source)
+        return program
+    program = compile_program(source)
+    _COMPILE_CACHE[source] = program
+    while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+        _COMPILE_CACHE.popitem(last=False)
+    return program
+
+
+def compile_cache_info() -> dict:
+    """Size/bound of the shared compiled-program cache (for tests)."""
+    return {"size": len(_COMPILE_CACHE), "maxsize": _COMPILE_CACHE_MAX}
+
+
+def clear_compile_cache() -> None:
+    _COMPILE_CACHE.clear()
 
 
 @dataclass
@@ -76,20 +101,59 @@ class RunResult:
 
 
 class ValidationError(ReproError):
-    """A benchmark produced an unexpected result."""
+    """A benchmark produced an unexpected result.
+
+    Carries the VM config and iteration index that produced the bad
+    value, so a parametrized sweep failure is attributable without
+    rerunning (``benchmark``/``config``/``iteration``/``warmup``).
+    """
+
+    def __init__(self, message: str, *, benchmark: str = "?",
+                 config: str = "?", iteration: int | None = None,
+                 warmup: bool = False) -> None:
+        super().__init__(message)
+        self.benchmark = benchmark
+        self.config = config
+        self.iteration = iteration
+        self.warmup = warmup
+
+
+def config_name(jit) -> str:
+    """Display name of a ``jit=`` spec ("interpreter", "graal", ...)."""
+    if jit is None:
+        return "interpreter"
+    if isinstance(jit, str):
+        return jit
+    return jit.name
 
 
 class Runner:
-    """Runs one benchmark in one VM configuration."""
+    """Runs one benchmark in one VM configuration.
+
+    ``faults`` is an optional :class:`repro.faults.FaultPlan` (or
+    prepared :class:`~repro.faults.FaultInjector`) threaded into the VM.
+    ``iteration_budget`` bounds each iteration to that many simulated
+    cycles via the scheduler watchdog — a runaway guest loop raises
+    :class:`~repro.errors.WatchdogTimeout` instead of hanging the host.
+    """
 
     def __init__(self, benchmark: GuestBenchmark, *, jit="graal",
                  cores: int = 8, schedule_seed: int = 0,
-                 plugins: tuple = ()) -> None:
+                 plugins: tuple = (), faults=None,
+                 iteration_budget: int | None = None) -> None:
         self.benchmark = benchmark
         self.jit = jit
         self.cores = cores
         self.schedule_seed = schedule_seed
         self.plugins = list(plugins)
+        self.faults = faults
+        self.iteration_budget = iteration_budget
+        self.last_vm: VM | None = None     # VM of the most recent run()
+        self.last_injector = None          # its FaultInjector, if any
+
+    @property
+    def config(self) -> str:
+        return config_name(self.jit)
 
     def run(self, warmup: int | None = None,
             measure: int | None = None) -> RunResult:
@@ -97,14 +161,11 @@ class Runner:
         warmup = bench.warmup if warmup is None else warmup
         measure = bench.measure if measure is None else measure
         vm = VM(jit=self.jit, cores=self.cores,
-                schedule_seed=self.schedule_seed)
+                schedule_seed=self.schedule_seed, faults=self.faults)
+        self.last_vm = vm
+        self.last_injector = vm.faults
         vm.load(bench.compile())
-        if self.jit is None:
-            config = "interpreter"
-        elif isinstance(self.jit, str):
-            config = self.jit
-        else:
-            config = self.jit.name
+        config = self.config
         result = RunResult(bench.name, config, vm=vm)
         for plugin in self.plugins:
             plugin.before_run(vm, bench)
@@ -128,12 +189,26 @@ class Runner:
         for plugin in self.plugins:
             plugin.before_iteration(vm, bench, index, warmup)
         before = vm.timing_snapshot()
-        value = vm.invoke(bench.entry, list(bench.args),
-                          name=f"{bench.name}-it{index}")
+        if self.iteration_budget is not None:
+            vm.scheduler.watchdog_cycles = (
+                vm.scheduler.clock + self.iteration_budget)
+        try:
+            value = vm.invoke(bench.entry, list(bench.args),
+                              name=f"{bench.name}-it{index}")
+        except ReproError as exc:
+            # Stamp phase info for the resilience layer's FailureReport.
+            if getattr(exc, "iteration", None) is None:
+                exc.iteration = index
+                exc.warmup = warmup
+            raise
         stats = vm.interval_stats(before)
         if bench.expected is not None and value != bench.expected:
+            phase = "warmup" if warmup else "measure"
             raise ValidationError(
-                f"{bench.name}: expected {bench.expected!r}, got {value!r}")
+                f"{bench.name}[{self.config}] {phase} iteration {index}: "
+                f"expected {bench.expected!r}, got {value!r}",
+                benchmark=bench.name, config=self.config,
+                iteration=index, warmup=warmup)
         if result is not None:
             result.iterations.append(IterationResult(
                 stats["wall"], stats["work"], stats["cpu"], value))

@@ -27,6 +27,24 @@ class HarnessPlugin:
                         stats: dict) -> None:
         """Called after each iteration with its wall/work/cpu stats."""
 
+    def on_fault(self, vm, benchmark, report) -> None:
+        """Called by the resilience layer when a run fails for good.
+
+        ``report`` is a :class:`repro.faults.FailureReport`; ``vm`` is
+        the VM of the failing attempt (may be mid-iteration).  Not
+        called for failures that a reseeded retry recovered from.
+        """
+
+
+class FaultLogPlugin(HarnessPlugin):
+    """Collects every FailureReport the resilience layer produces."""
+
+    def __init__(self) -> None:
+        self.reports: list = []
+
+    def on_fault(self, vm, benchmark, report) -> None:
+        self.reports.append(report)
+
 
 class IterationLogPlugin(HarnessPlugin):
     """Example plugin: records (index, warmup, wall) tuples."""

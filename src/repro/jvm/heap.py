@@ -16,7 +16,12 @@ Guest values are represented directly as Python values:
 
 from __future__ import annotations
 
-from repro.errors import GuestBoundsError, GuestNullPointerError, VMError
+from repro.errors import (
+    GuestBoundsError,
+    GuestNullPointerError,
+    GuestOutOfMemoryError,
+    VMError,
+)
 from repro.jvm.classfile import JClass
 from repro.jvm.counters import Counters
 
@@ -101,11 +106,28 @@ class Heap:
     TLAB_WINDOW_WORDS = 8192
     LARGE_OBJECT_WORDS = 512
 
-    def __init__(self, counters: Counters) -> None:
+    def __init__(self, counters: Counters,
+                 limit_words: int | None = None) -> None:
         self.counters = counters
         self._tlab_base = 0x10000
         self._tlab_offset = 0
         self._large_next = 0x10000 + self.TLAB_WINDOW_WORDS
+        #: Optional -Xmx analogue: allocations past this many total
+        #: words raise GuestOutOfMemoryError (None = unbounded).
+        self.limit_words = limit_words
+        #: Optional fault-injection hook called with the requested words
+        #: before every allocation (see repro.faults.FaultInjector).
+        self.fault_hook = None
+
+    def _check_pressure(self, words: int) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(words)
+        if self.limit_words is not None \
+                and self.counters.allocated_words + words > self.limit_words:
+            raise GuestOutOfMemoryError(
+                f"heap limit exceeded: "
+                f"{self.counters.allocated_words + words} > "
+                f"{self.limit_words} words")
 
     def _bump(self, words: int) -> int:
         words += self.HEADER_WORDS
@@ -121,12 +143,16 @@ class Heap:
 
     def new_object(self, jclass: JClass) -> JObject:
         jclass.loaded = True
+        if self.fault_hook is not None or self.limit_words is not None:
+            self._check_pressure(jclass.instance_words)
         obj = JObject(jclass, self._bump(jclass.instance_words))
         self.counters.object += 1
         self.counters.allocated_words += jclass.instance_words
         return obj
 
     def new_array(self, kind: str, length: int) -> JArray:
+        if self.fault_hook is not None or self.limit_words is not None:
+            self._check_pressure(max(length, 1))
         arr = JArray(kind, length, self._bump(max(length, 1)))
         self.counters.array += 1
         self.counters.allocated_words += max(length, 1)

@@ -31,7 +31,7 @@ from __future__ import annotations
 import random
 from collections import deque
 
-from repro.errors import DeadlockError, VMError
+from repro.errors import DeadlockError, ThreadKilledError, VMError, WatchdogTimeout
 
 # Thread states.
 RUNNABLE = "runnable"
@@ -45,9 +45,9 @@ TERMINATED = "terminated"
 class Monitor:
     """A per-object monitor (lock + condition), as in the JVM."""
 
-    __slots__ = ("owner", "recursion", "entry_queue", "wait_set")
+    __slots__ = ("owner", "recursion", "entry_queue", "wait_set", "tag")
 
-    def __init__(self) -> None:
+    def __init__(self, tag: str = "?") -> None:
         self.owner: JThread | None = None
         self.recursion = 0
         # entry_queue holds (thread, resume_recursion) pairs:
@@ -55,6 +55,9 @@ class Monitor:
         # saved recursion depth for a notified waiter.
         self.entry_queue: deque = deque()
         self.wait_set: deque = deque()
+        # Stable identity for thread dumps ("<ClassName@addr>"): heap
+        # addresses are deterministic, so dumps are replayable.
+        self.tag = tag
 
 
 class JThread:
@@ -111,14 +114,56 @@ class Scheduler:
         # queue; different seeds yield different interleavings, which is
         # the source of run-to-run variance for the statistical tests.
         self.perturb_period = 7
+        # Scheduler-local thread ids: spawn() renumbers threads 1..n so
+        # thread dumps are identical across VMs in one host process
+        # (JThread's global counter is only a pre-spawn placeholder).
+        self._next_tid = 1
+        # All monitors ever created through monitor_of(), for dumps.
+        self._monitors: list[Monitor] = []
+        # Global cycle watchdog: when set, run() aborts with
+        # WatchdogTimeout once the clock passes it (runaway-loop guard).
+        self.watchdog_cycles: int | None = None
+        # Optional fault hook, called once per slice with this scheduler
+        # *before* threads are selected (see repro.faults.FaultInjector).
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     # Thread lifecycle.
     # ------------------------------------------------------------------
     def spawn(self, thread: JThread) -> JThread:
+        thread.tid = self._next_tid
+        self._next_tid += 1
         self.threads.append(thread)
         self.runnable.append(thread)
         return thread
+
+    def kill(self, thread: JThread, reason: str = "killed") -> None:
+        """Forcibly terminate a guest thread (fault injection).
+
+        The thread's fault is recorded, joiners are released, and it is
+        removed from the run queue — like ``Thread.stop`` on a real JVM.
+        """
+        if thread.state == TERMINATED:
+            return
+        thread.fault = ThreadKilledError(f"{thread.name}: {reason}")
+        try:
+            self.runnable.remove(thread)
+        except ValueError:
+            pass
+        # Purge the victim from any monitor queues it sits in, and
+        # release monitors it owns (like ThreadDeath unwinding the
+        # stack on a real JVM) so the kill itself cannot wedge others.
+        for mon in self._monitors:
+            if any(p[0] is thread for p in mon.entry_queue):
+                mon.entry_queue = deque(
+                    p for p in mon.entry_queue if p[0] is not thread)
+            if any(p[0] is thread for p in mon.wait_set):
+                mon.wait_set = deque(
+                    p for p in mon.wait_set if p[0] is not thread)
+            if mon.owner is thread:
+                mon.recursion = 0
+                self._release(mon)
+        self.terminate(thread)
 
     def terminate(self, thread: JThread) -> None:
         thread.state = TERMINATED
@@ -146,10 +191,10 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Monitors.
     # ------------------------------------------------------------------
-    @staticmethod
-    def monitor_of(obj) -> Monitor:
+    def monitor_of(self, obj) -> Monitor:
         if obj.monitor is None:
-            obj.monitor = Monitor()
+            obj.monitor = Monitor(tag=repr(obj))
+            self._monitors.append(obj.monitor)
         return obj.monitor
 
     def monitor_enter(self, thread: JThread, obj) -> bool:
@@ -242,23 +287,39 @@ class Scheduler:
 
         Raises :class:`DeadlockError` if live non-daemon threads exist but
         none is runnable (there are no timeouts in the model, so this is a
-        true deadlock).
+        true deadlock).  Raises :class:`WatchdogTimeout` once the clock
+        passes :attr:`watchdog_cycles` (when set), so a runaway guest
+        loop aborts with a thread dump instead of hanging the host.
         """
         if self.executor is None:
             raise VMError("scheduler has no executor")
         while self._live_nondaemon():
             if max_cycles is not None and self.clock >= max_cycles:
                 return
+            if self.watchdog_cycles is not None \
+                    and self.clock >= self.watchdog_cycles:
+                raise WatchdogTimeout(
+                    f"guest exceeded cycle budget ({self.clock} >= "
+                    f"{self.watchdog_cycles} cycles)",
+                    thread_dump=self.thread_dump(), clock=self.clock,
+                )
             if not self.runnable:
+                dump = self.thread_dump()
                 stuck = [t for t in self.threads if t.alive and not t.daemon]
+                cycle = dump.get("deadlock_cycle")
+                detail = f"; lock cycle: {' -> '.join(cycle)}" if cycle else ""
                 raise DeadlockError(
                     "no runnable threads; stuck: "
                     + ", ".join(f"{t.name}({t.state})" for t in stuck)
+                    + detail,
+                    thread_dump=dump,
                 )
             self._run_slice()
 
     def _run_slice(self) -> None:
         self.slices += 1
+        if self.fault_hook is not None:
+            self.fault_hook(self)
         if self.perturb_period and self.slices % self.perturb_period == 0:
             self._perturb()
         selected: list[JThread] = []
@@ -301,3 +362,70 @@ class Scheduler:
         if self.clock == 0:
             return 0.0
         return min(1.0, self.busy_core_slices / (self.cores * self.clock))
+
+    # ------------------------------------------------------------------
+    # Diagnostics.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _frame_name(frame) -> str:
+        method = getattr(frame, "method", None)
+        if method is not None:
+            qualified = getattr(method, "qualified", None)
+            if qualified is not None:
+                return qualified
+        code = getattr(frame, "code", None)
+        method = getattr(code, "method", None)
+        if method is not None and getattr(method, "qualified", None):
+            return method.qualified
+        return type(frame).__name__
+
+    def thread_dump(self) -> dict:
+        """Structured per-thread diagnostic snapshot.
+
+        Every value is a plain str/int/list/dict derived from
+        deterministic state (scheduler-local tids, bump-allocator
+        addresses), so two runs with the same seeds produce identical
+        dumps — the property the fault layer's byte-identical
+        :class:`~repro.faults.FailureReport` relies on.
+        """
+        threads = []
+        for t in self.threads:
+            blocked_tag = t.blocked_on.tag if t.blocked_on is not None else None
+            blocked_owner = None
+            if t.blocked_on is not None and t.blocked_on.owner is not None:
+                owner = t.blocked_on.owner
+                blocked_owner = f"{owner.name}#{owner.tid}"
+            threads.append({
+                "tid": t.tid,
+                "name": t.name,
+                "state": t.state,
+                "daemon": t.daemon,
+                "top_frame": self._frame_name(t.frames[-1]) if t.frames else None,
+                "frames": len(t.frames),
+                "blocked_on": blocked_tag,
+                "blocked_on_owner": blocked_owner,
+                "holds": sorted(
+                    m.tag for m in self._monitors if m.owner is t),
+            })
+        return {
+            "clock": self.clock,
+            "slices": self.slices,
+            "threads": threads,
+            "deadlock_cycle": self._lock_cycle(),
+        }
+
+    def _lock_cycle(self) -> list[str] | None:
+        """Find a cycle in the wait-for graph (thread -> monitor owner)."""
+        for start in self.threads:
+            path: list[JThread] = []
+            seen: set[int] = set()
+            t: JThread | None = start
+            while t is not None and t.blocked_on is not None:
+                if t.tid in seen:
+                    i = next(i for i, p in enumerate(path) if p is t)
+                    return [f"{p.name}#{p.tid}" for p in path[i:]] \
+                        + [f"{t.name}#{t.tid}"]
+                seen.add(t.tid)
+                path.append(t)
+                t = t.blocked_on.owner
+        return None

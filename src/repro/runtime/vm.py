@@ -58,6 +58,7 @@ class VM:
         quantum: int = 5000,
         schedule_seed: int = 0,
         jit: object = "graal",
+        faults: object = None,
     ) -> None:
         self.counters = Counters()
         self.pool = ClassPool()
@@ -73,6 +74,26 @@ class VM:
         self._bootstrap_builtins()
         self.jit = self._make_jit(jit)
         self.machine = self.jit.machine if self.jit is not None else None
+        # Deterministic fault injection (repro.faults).  ``faults`` is a
+        # FaultPlan or a prepared FaultInjector; hooks are installed
+        # only for the fault kinds the plan actually uses, so the hot
+        # call path stays a single None check when no plan is active.
+        self.faults = self._make_injector(faults)
+        self._fault_calls = (
+            self.faults is not None and self.faults.wants_calls)
+
+    def _make_injector(self, faults):
+        if faults is None:
+            return None
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        if not isinstance(faults, FaultInjector):
+            raise VMError(f"bad faults spec {faults!r}")
+        faults.attach(self)
+        return faults
 
     # ------------------------------------------------------------------
     # Construction.
@@ -161,6 +182,8 @@ class VM:
 
     def call(self, thread: JThread, method: JMethod, args: list) -> None:
         """Invoke ``method``: run a native, or push a frame (JIT-aware)."""
+        if self._fault_calls:
+            self.faults.on_call(self, thread, method)
         if method.native:
             fn = intrinsics.lookup(method.owner, method.name)
             self.charge(thread, intrinsics.NATIVE_BASE_COST)
@@ -248,6 +271,11 @@ class VM:
         self._push_entry_frame(thread, method, list(args or []))
         self.scheduler.spawn(thread)
         self.scheduler.run()
+        if thread.fault is not None:
+            # The entry thread died without unwinding through the
+            # executor (e.g. killed by fault injection): surface its
+            # fault instead of silently returning None.
+            raise thread.fault
         return thread.result
 
     # ------------------------------------------------------------------

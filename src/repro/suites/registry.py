@@ -30,11 +30,44 @@ def benchmarks_of(suite: str) -> tuple:
         from repro.suites.specjvm import benchmarks
     else:
         raise ReproError(f"unknown suite {suite!r}; have {SUITES}")
-    return tuple(benchmarks())
+    out = tuple(benchmarks())
+    # Duplicate names within one suite would silently shadow each other
+    # in get_benchmark() and in suite sweeps; reject them loudly.
+    # (Cross-suite duplicates are legitimate: "sunflow" exists in both
+    # DaCapo and SPECjvm2008, as in the real suites.)
+    seen: dict[str, int] = {}
+    for i, bench in enumerate(out):
+        if bench.name in seen:
+            raise ReproError(
+                f"duplicate benchmark name {bench.name!r} in suite "
+                f"{suite!r} (positions {seen[bench.name]} and {i}); "
+                "benchmark names must be unique within a suite")
+        seen[bench.name] = i
+    return out
 
 
-def get_benchmark(name: str):
-    for bench in all_benchmarks():
+def get_benchmark(name: str, suite: str | None = None):
+    """Look up a benchmark by name (optionally within one suite).
+
+    Without ``suite``, the first match in suite order wins — pass
+    ``suite=`` to disambiguate cross-suite duplicates like "sunflow".
+    """
+    pool = all_benchmarks() if suite is None else benchmarks_of(suite)
+    for bench in pool:
         if bench.name == name:
             return bench
-    raise ReproError(f"unknown benchmark {name!r}")
+    where = f" in suite {suite!r}" if suite is not None else ""
+    raise ReproError(f"unknown benchmark {name!r}{where}")
+
+
+def run_suite(suite="renaissance", **kwargs):
+    """Resilient full-suite sweep; see :func:`repro.faults.run_suite`.
+
+    Re-exported here so suite-level callers need only the registry:
+    ``run_suite("renaissance", continue_on_error=True)`` completes the
+    healthy workloads and returns a SuiteResult with one FailureReport
+    per quarantined benchmark.
+    """
+    from repro.faults.resilience import run_suite as _run_suite
+
+    return _run_suite(suite, **kwargs)
