@@ -8,4 +8,10 @@ test:
 chaos:
 	PYTHONPATH=src python -m pytest -q -m chaos -s
 
-.PHONY: test chaos
+# Tier-2: concurrency sanitizer sweep — static verifier/lockset/lock-order
+# passes over every registered benchmark, plus a checked-mode (dynamic
+# happens-before race detection) smoke subset.  Never gates tier-1.
+sanitize:
+	PYTHONPATH=src python -m repro.sanitize
+
+.PHONY: test chaos sanitize

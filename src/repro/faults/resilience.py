@@ -50,6 +50,7 @@ class ResilientResult:
     result: RunResult | None = None
     failure: FailureReport | None = None
     retries: int = 0
+    race_report: object = None      # RaceReport of a checked run
 
     @property
     def ok(self) -> bool:
@@ -63,7 +64,8 @@ class ResilientRunner:
                  cores: int = 8, schedule_seed: int = 0, plugins: tuple = (),
                  faults: FaultPlan | None = None,
                  iteration_budget: int | None = DEFAULT_ITERATION_BUDGET,
-                 max_retries: int = 2, reseed_stride: int = 1_000_003) -> None:
+                 max_retries: int = 2, reseed_stride: int = 1_000_003,
+                 sanitize=None) -> None:
         self.benchmark = benchmark
         self.jit = jit
         self.cores = cores
@@ -73,19 +75,22 @@ class ResilientRunner:
         self.iteration_budget = iteration_budget
         self.max_retries = max_retries
         self.reseed_stride = reseed_stride
+        self.sanitize = sanitize
 
     # ------------------------------------------------------------------
     def run(self, warmup: int | None = None,
             measure: int | None = None) -> ResilientResult:
         bench = self.benchmark
-        config = config_name(self.jit)
+        # Checked runs force the interpreter, so name the config after it.
+        config = config_name(None if self.sanitize else self.jit)
         attempt = 0
         while True:
             seed = self.schedule_seed + attempt * self.reseed_stride
             runner = Runner(
                 bench, jit=self.jit, cores=self.cores, schedule_seed=seed,
                 plugins=self.plugins, faults=self.faults,
-                iteration_budget=self.iteration_budget)
+                iteration_budget=self.iteration_budget,
+                sanitize=self.sanitize)
             try:
                 result = runner.run(warmup=warmup, measure=measure)
             except ReproError as exc:
@@ -99,8 +104,10 @@ class ResilientRunner:
                         on_fault(runner.last_vm, bench, report)
                 return ResilientResult(bench.name, config, failure=report,
                                        retries=attempt)
+            plugin = getattr(runner, "sanitize_plugin", None)
+            race = plugin.report if plugin is not None else None
             return ResilientResult(bench.name, config, result=result,
-                                   retries=attempt)
+                                   retries=attempt, race_report=race)
 
     # ------------------------------------------------------------------
     def _should_retry(self, exc: ReproError, runner: Runner,
@@ -193,6 +200,12 @@ class SuiteResult:
     failures: list[FailureReport] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)   # quarantine skips
     quarantine: Quarantine = field(default_factory=Quarantine)
+    race_reports: list = field(default_factory=list)   # checked runs only
+
+    @property
+    def racy(self) -> list:
+        """Race reports that actually found something."""
+        return [r for r in self.race_reports if not r.clean]
 
     @property
     def completed(self) -> int:
@@ -218,7 +231,7 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
               faults=None, iteration_budget: int | None = DEFAULT_ITERATION_BUDGET,
               max_retries: int = 2, repeat: int = 1,
               quarantine: Quarantine | None = None,
-              plugins: tuple = ()) -> SuiteResult:
+              plugins: tuple = (), sanitize=None) -> SuiteResult:
     """Run every benchmark of ``suite``, surviving individual failures.
 
     ``suite`` is a registry suite name or an iterable of
@@ -227,6 +240,9 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
     poison selected workloads.  With ``continue_on_error`` (default) a
     failing benchmark is quarantined and reported in the returned
     :class:`SuiteResult`; otherwise the original exception propagates.
+    ``sanitize`` (``True`` or a SanitizerConfig) runs every benchmark in
+    checked mode and collects one RaceReport per completed run in
+    ``SuiteResult.race_reports``.
     """
     if isinstance(suite, str):
         from repro.suites.registry import benchmarks_of
@@ -241,7 +257,7 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
         plan_of = {b.name: faults.get(b.name) for b in benches}
 
     out = SuiteResult(
-        suite_name, config_name(jit),
+        suite_name, config_name(None if sanitize else jit),
         quarantine=quarantine if quarantine is not None else Quarantine())
     for _ in range(repeat):
         for bench in benches:
@@ -251,10 +267,13 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
             runner = ResilientRunner(
                 bench, jit=jit, cores=cores, schedule_seed=schedule_seed,
                 plugins=plugins, faults=plan_of[bench.name],
-                iteration_budget=iteration_budget, max_retries=max_retries)
+                iteration_budget=iteration_budget, max_retries=max_retries,
+                sanitize=sanitize)
             outcome = runner.run(warmup=warmup, measure=measure)
             if outcome.ok:
                 out.results.append(outcome.result)
+                if outcome.race_report is not None:
+                    out.race_reports.append(outcome.race_report)
             else:
                 out.failures.append(outcome.failure)
                 out.quarantine.add(outcome.failure)

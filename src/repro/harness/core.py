@@ -135,12 +135,19 @@ class Runner:
     ``iteration_budget`` bounds each iteration to that many simulated
     cycles via the scheduler watchdog — a runaway guest loop raises
     :class:`~repro.errors.WatchdogTimeout` instead of hanging the host.
+    ``sanitize`` turns on checked mode: ``True``, a
+    :class:`~repro.sanitize.hb.SanitizerConfig` or a prepared
+    :class:`~repro.sanitize.plugin.SanitizerPlugin`.  Checked runs are
+    interpreter-only (the JIT's machine code has no access hooks), and
+    the race report of the latest run hangs off
+    ``runner.sanitize_plugin.report``.
     """
 
     def __init__(self, benchmark: GuestBenchmark, *, jit="graal",
                  cores: int = 8, schedule_seed: int = 0,
                  plugins: tuple = (), faults=None,
-                 iteration_budget: int | None = None) -> None:
+                 iteration_budget: int | None = None,
+                 sanitize=None) -> None:
         self.benchmark = benchmark
         self.jit = jit
         self.cores = cores
@@ -148,6 +155,17 @@ class Runner:
         self.plugins = list(plugins)
         self.faults = faults
         self.iteration_budget = iteration_budget
+        self.sanitize_plugin = None
+        if sanitize is not None and sanitize is not False:
+            from repro.sanitize.plugin import SanitizerPlugin
+
+            if isinstance(sanitize, SanitizerPlugin):
+                self.sanitize_plugin = sanitize
+            else:
+                config = None if sanitize is True else sanitize
+                self.sanitize_plugin = SanitizerPlugin(config)
+            self.plugins.append(self.sanitize_plugin)
+            self.jit = None   # checked runs are interpreter-only
         self.last_vm: VM | None = None     # VM of the most recent run()
         self.last_injector = None          # its FaultInjector, if any
 

@@ -93,13 +93,22 @@ class JMethod:
         return self.params + (0 if self.static else 1)
 
     def validate(self) -> None:
-        """Check bytecode well-formedness (branch targets, terminators)."""
+        """Check bytecode well-formedness (branch targets, terminators).
+
+        Monitor balance is verified here too: unbalanced
+        MONITORENTER/MONITOREXIT used to surface mid-run as a scheduler
+        assertion ("released monitor it does not own"); failing at link
+        time names the offending method instead.
+        """
         if self.code is not None:
             validate_code(self.code)
             if self.max_locals < self.nargs:
                 raise LinkError(
                     f"{self.qualified}: max_locals {self.max_locals} < args {self.nargs}"
                 )
+            from repro.sanitize.verify import check_monitor_balance
+
+            check_monitor_balance(self.code, self.qualified)
 
     def __repr__(self) -> str:
         return f"<JMethod {self.qualified}/{self.params}>"

@@ -48,6 +48,14 @@ class Counters:
     deopts: int = 0
     allocated_words: int = 0
 
+    # Sanitizer counters (repro.sanitize): zero unless a checked run.
+    race_checks: int = 0        # accesses put through the FastTrack check
+    races_found: int = 0        # races detected (before suppression/dedup)
+    vc_promotions: int = 0      # read epochs promoted to vector clocks
+    hb_edges: int = 0           # happens-before edges recorded
+    lock_acquires: int = 0      # monitor acquisitions observed
+    lockset_entries: int = 0    # sum of held-lock counts at acquisition
+
     # Per-guard-type execution counts for the Section 5.5 table.
     guard_kinds: dict = field(default_factory=dict)
 
@@ -65,7 +73,9 @@ class Counters:
                 "object", "array", "method", "idynamic", "cachemiss",
                 "reference_cycles", "instructions", "cas_failures",
                 "monitor_contended", "guards_executed", "deopts",
-                "allocated_words",
+                "allocated_words", "race_checks", "races_found",
+                "vc_promotions", "hb_edges", "lock_acquires",
+                "lockset_entries",
             )
         }
         snap["guard_kinds"] = dict(self.guard_kinds)

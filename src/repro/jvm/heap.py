@@ -29,7 +29,7 @@ from repro.jvm.counters import Counters
 class JObject:
     """An instance of a guest class; fields are stored by layout offset."""
 
-    __slots__ = ("jclass", "addr", "values", "monitor", "meta")
+    __slots__ = ("jclass", "addr", "values", "monitor", "meta", "shadow")
 
     def __init__(self, jclass: JClass, addr: int) -> None:
         self.jclass = jclass
@@ -37,6 +37,9 @@ class JObject:
         self.values = [0] * jclass.instance_words
         self.monitor = None       # lazily created by the scheduler
         self.meta = None          # host-side payload for intrinsic objects
+        # Per-slot shadow state of the race sanitizer (repro.sanitize.hb),
+        # keyed on the object itself because TLAB addresses recycle.
+        self.shadow = None
 
     def get(self, name: str) -> object:
         return self.values[self.jclass.field_layout[name]]
@@ -57,7 +60,7 @@ class JArray:
     Arrays are objects on the JVM: they can be locked (``monitor``).
     """
 
-    __slots__ = ("kind", "addr", "data", "monitor")
+    __slots__ = ("kind", "addr", "data", "monitor", "shadow")
 
     _DEFAULTS = {"int": 0, "double": 0.0, "ref": None}
 
@@ -70,6 +73,7 @@ class JArray:
         self.addr = addr
         self.data = [self._DEFAULTS[kind]] * length
         self.monitor = None
+        self.shadow = None        # sanitizer per-element state
 
     def __len__(self) -> int:
         return len(self.data)

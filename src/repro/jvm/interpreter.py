@@ -96,6 +96,7 @@ class Interpreter:
         locals_ = frame.locals
         costs = BASE_COST
         core = thread.core
+        san = vm.sanitizer
 
         while thread.budget > 0:
             instr = code[frame.pc]
@@ -185,6 +186,8 @@ class Interpreter:
                 if obj is None:
                     raise GuestNullPointerError(f"getfield {instr.arg}")
                 cost += cache.access(core, obj.addr + obj.jclass.field_layout[instr.arg])
+                if san is not None:
+                    san.field_read(thread, obj, instr.arg, frame)
                 stack.append(obj.values[obj.jclass.field_layout[instr.arg]])
             elif op is Op.PUTFIELD:
                 value = stack.pop()
@@ -192,6 +195,8 @@ class Interpreter:
                 if obj is None:
                     raise GuestNullPointerError(f"putfield {instr.arg}")
                 cost += cache.access(core, obj.addr + obj.jclass.field_layout[instr.arg])
+                if san is not None:
+                    san.field_write(thread, obj, instr.arg, frame)
                 obj.values[obj.jclass.field_layout[instr.arg]] = value
             elif op is Op.ALOAD:
                 index = stack.pop()
@@ -199,6 +204,8 @@ class Interpreter:
                 if arr is None:
                     raise GuestNullPointerError("array load")
                 cost += cache.access(core, arr.addr + arr.check(index))
+                if san is not None:
+                    san.array_read(thread, arr, index, frame)
                 stack.append(arr.data[index])
             elif op is Op.ASTORE:
                 value = stack.pop()
@@ -207,6 +214,8 @@ class Interpreter:
                 if arr is None:
                     raise GuestNullPointerError("array store")
                 cost += cache.access(core, arr.addr + arr.check(index))
+                if san is not None:
+                    san.array_write(thread, arr, index, frame)
                 arr.data[index] = value
             elif op is Op.ARRAYLEN:
                 arr = stack.pop()
@@ -292,10 +301,14 @@ class Interpreter:
             elif op is Op.GETSTATIC:
                 cls_name, field = instr.arg
                 jclass = vm.resolve_class(cls_name)
+                if san is not None:
+                    san.static_read(thread, cls_name, field, frame)
                 stack.append(jclass.static_values[field])
             elif op is Op.PUTSTATIC:
                 cls_name, field = instr.arg
                 jclass = vm.resolve_class(cls_name)
+                if san is not None:
+                    san.static_write(thread, cls_name, field, frame)
                 jclass.static_values[field] = stack.pop()
             elif op is Op.MONITORENTER:
                 counters.synch += 1
@@ -328,9 +341,15 @@ class Interpreter:
                 # References compare by identity (JObject has no __eq__),
                 # numbers by value — matching JVM CAS semantics.
                 if obj.values[slot] == expect:
+                    if san is not None:
+                        san.atomic_field(thread, obj, instr.arg, frame,
+                                         rmw=True)
                     obj.values[slot] = update
                     stack.append(1)
                 else:
+                    if san is not None:
+                        san.atomic_field(thread, obj, instr.arg, frame,
+                                         rmw=False)
                     counters.cas_failures += 1
                     stack.append(0)
             elif op is Op.ATOMIC_GET:
@@ -340,6 +359,9 @@ class Interpreter:
                 counters.atomic += 1
                 slot = obj.jclass.field_layout[instr.arg]
                 cost += cache.access(core, obj.addr + slot)
+                if san is not None:
+                    san.atomic_field(thread, obj, instr.arg, frame,
+                                     rmw=False)
                 stack.append(obj.values[slot])
             elif op is Op.ATOMIC_ADD:
                 delta = stack.pop()
@@ -349,6 +371,9 @@ class Interpreter:
                 counters.atomic += 1
                 slot = obj.jclass.field_layout[instr.arg]
                 cost += cache.access(core, obj.addr + slot)
+                if san is not None:
+                    san.atomic_field(thread, obj, instr.arg, frame,
+                                     rmw=True)
                 old = obj.values[slot]
                 obj.values[slot] = old + delta
                 stack.append(old)
@@ -364,7 +389,7 @@ class Interpreter:
                 counters.unpark += 1
                 target_obj = stack.pop()
                 target_thread = vm.guest_thread_of(target_obj)
-                sched.unpark(target_thread)
+                sched.unpark(target_thread, source=thread)
             elif op is Op.WAIT:
                 counters.wait += 1
                 obj = stack.pop()

@@ -171,6 +171,9 @@ def arrays_copy(vm, thread, args):
         src.check(src_pos + n - 1)
         dst.check(dst_pos + n - 1)
     _charge(vm, thread, max(1, n // 4))
+    if vm.sanitizer is not None and thread.frames:
+        vm.sanitizer.array_copy(thread, src, src_pos, dst, dst_pos, n,
+                                thread.frames[-1])
     dst.data[dst_pos:dst_pos + n] = src.data[src_pos:src_pos + n]
     return VOID
 
@@ -187,7 +190,8 @@ def thread_start(vm, thread, args):
     daemon = bool(this.get("daemon"))
     name = this.get("name") or f"thread-{this.addr:x}"
     _charge(vm, thread, 200)   # thread creation is expensive
-    vm.spawn_guest_thread(this, target, name=name, daemon=daemon)
+    vm.spawn_guest_thread(this, target, name=name, daemon=daemon,
+                          parent=thread)
     return VOID
 
 

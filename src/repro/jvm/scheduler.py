@@ -103,6 +103,7 @@ class Scheduler:
             raise VMError("need at least one core")
         self.cores = cores
         self.quantum = quantum
+        self.seed = seed
         self.rng = random.Random(seed)
         self.clock = 0
         self.slices = 0
@@ -126,15 +127,21 @@ class Scheduler:
         # Optional fault hook, called once per slice with this scheduler
         # *before* threads are selected (see repro.faults.FaultInjector).
         self.fault_hook = None
+        # Optional happens-before sanitizer (repro.sanitize.hb): receives
+        # every ordering edge — spawn/join/terminate, monitor
+        # acquire/release, unpark/park — as it happens.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Thread lifecycle.
     # ------------------------------------------------------------------
-    def spawn(self, thread: JThread) -> JThread:
+    def spawn(self, thread: JThread, parent: JThread | None = None) -> JThread:
         thread.tid = self._next_tid
         self._next_tid += 1
         self.threads.append(thread)
         self.runnable.append(thread)
+        if self.sanitizer is not None:
+            self.sanitizer.on_spawn(thread, parent)
         return thread
 
     def kill(self, thread: JThread, reason: str = "killed") -> None:
@@ -162,20 +169,29 @@ class Scheduler:
                     p for p in mon.wait_set if p[0] is not thread)
             if mon.owner is thread:
                 mon.recursion = 0
+                if self.sanitizer is not None:
+                    self.sanitizer.on_release(thread, mon)
                 self._release(mon)
         self.terminate(thread)
 
     def terminate(self, thread: JThread) -> None:
+        san = self.sanitizer
+        if san is not None:
+            san.on_terminate(thread)
         thread.state = TERMINATED
         thread.frames.clear()
         for joiner in thread.joiners:
             if joiner.state == JOINING:
+                if san is not None:
+                    san.on_join(thread, joiner)
                 self._make_runnable(joiner)
         thread.joiners.clear()
 
     def join(self, current: JThread, target: JThread) -> bool:
         """Returns True if ``current`` must block until ``target`` ends."""
         if target.state == TERMINATED:
+            if self.sanitizer is not None:
+                self.sanitizer.on_join(target, current)
             return False
         target.joiners.append(current)
         current.state = JOINING
@@ -203,6 +219,8 @@ class Scheduler:
         if mon.owner is None:
             mon.owner = thread
             mon.recursion = 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_acquire(thread, mon)
             return True
         if mon.owner is thread:
             mon.recursion += 1
@@ -218,6 +236,8 @@ class Scheduler:
             raise VMError(f"{thread} released monitor it does not own")
         mon.recursion -= 1
         if mon.recursion == 0:
+            if self.sanitizer is not None:
+                self.sanitizer.on_release(thread, mon)
             self._release(mon)
 
     def _release(self, mon: Monitor) -> None:
@@ -227,6 +247,8 @@ class Scheduler:
             # 0 => the thread re-executes MONITORENTER and bumps to 1;
             # >0 => a notified waiter resumes with its saved depth.
             mon.recursion = resume_recursion
+            if self.sanitizer is not None:
+                self.sanitizer.on_acquire(next_thread, mon)
             self._make_runnable(next_thread)
         else:
             mon.owner = None
@@ -246,6 +268,8 @@ class Scheduler:
         mon.wait_set.append((thread, saved))
         thread.state = WAITING
         thread.blocked_on = mon
+        if self.sanitizer is not None:
+            self.sanitizer.on_release(thread, mon)
         self._release(mon)
 
     def monitor_notify(self, thread: JThread, obj, *, all_waiters: bool) -> None:
@@ -266,11 +290,16 @@ class Scheduler:
         """Returns True if the thread actually parked (no pending permit)."""
         if thread.park_permit:
             thread.park_permit = False
+            if self.sanitizer is not None:
+                self.sanitizer.on_park(thread)
             return False
         thread.state = PARKED
         return True
 
-    def unpark(self, thread: JThread) -> None:
+    def unpark(self, thread: JThread, source: JThread | None = None) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_unpark(source, thread,
+                                     parked=thread.state == PARKED)
         if thread.state == PARKED:
             self._make_runnable(thread)
         else:

@@ -3,11 +3,19 @@
 principal-component computation behind Figures 1/8 and Table 3.
 """
 
-from repro.metrics.profiler import METRIC_NAMES, MetricsPlugin, collect_metrics
-from repro.metrics.normalize import normalize_metrics
+from repro.metrics.profiler import (
+    METRIC_NAMES,
+    SANITIZER_METRIC_NAMES,
+    MetricsPlugin,
+    collect_checked_metrics,
+    collect_metrics,
+)
+from repro.metrics.normalize import normalize_metrics, normalize_sanitizer_metrics
 from repro.metrics.pca import PcaResult, run_pca
 
 __all__ = [
-    "METRIC_NAMES", "MetricsPlugin", "collect_metrics",
-    "normalize_metrics", "PcaResult", "run_pca",
+    "METRIC_NAMES", "SANITIZER_METRIC_NAMES", "MetricsPlugin",
+    "collect_metrics", "collect_checked_metrics",
+    "normalize_metrics", "normalize_sanitizer_metrics",
+    "PcaResult", "run_pca",
 ]

@@ -8,7 +8,11 @@ across benchmarks.
 
 from __future__ import annotations
 
-from repro.metrics.profiler import METRIC_NAMES
+from repro.metrics.profiler import METRIC_NAMES, SANITIZER_METRIC_NAMES
+
+#: Sanitizer metrics that are sizes or verdicts, not event streams —
+#: reported as-is instead of per-cycle rates.
+_SANITIZER_ABSOLUTE = frozenset({"races_found", "mean_lockset"})
 
 
 def normalize_metrics(raw: dict, reference_cycles: int) -> dict:
@@ -21,6 +25,26 @@ def normalize_metrics(raw: dict, reference_cycles: int) -> dict:
         value = raw.get(name, 0)
         if name == "cpu":
             out[name] = value / 100.0
+        else:
+            out[name] = value / reference_cycles
+    return out
+
+
+def normalize_sanitizer_metrics(raw: dict, reference_cycles: int) -> dict:
+    """Raw sanitizer counts -> rates per reference cycle.
+
+    Event-stream counters (checks, promotions, HB edges, acquisitions)
+    become rates like Table 2's metrics; ``races_found`` and
+    ``mean_lockset`` stay absolute (a verdict and a size are meaningless
+    as per-cycle rates).
+    """
+    if reference_cycles <= 0:
+        raise ValueError("reference_cycles must be positive")
+    out = {}
+    for name in SANITIZER_METRIC_NAMES:
+        value = raw.get(name, 0)
+        if name in _SANITIZER_ABSOLUTE:
+            out[name] = value
         else:
             out[name] = value / reference_cycles
     return out

@@ -20,6 +20,14 @@ METRIC_NAMES = (
     "cpu", "cachemiss", "object", "array", "method", "idynamic",
 )
 
+#: Sanitizer counters exported from checked runs (repro.sanitize), for
+#: Table-7-style per-benchmark tables.  ``mean_lockset`` is derived:
+#: average number of monitors held at each acquisition.
+SANITIZER_METRIC_NAMES = (
+    "race_checks", "races_found", "vc_promotions", "hb_edges",
+    "lock_acquires", "mean_lockset",
+)
+
 
 class MetricsPlugin(HarnessPlugin):
     """Harness plugin capturing steady-state Table 2 metrics."""
@@ -57,3 +65,27 @@ def collect_metrics(benchmark: GuestBenchmark, *, cores: int = 8,
     runner = Runner(benchmark, jit=None, cores=cores, plugins=(plugin,))
     runner.run(warmup=1 if warmup is None else warmup, measure=measure)
     return plugin.raw, plugin.reference_cycles
+
+
+def collect_checked_metrics(benchmark: GuestBenchmark, *, cores: int = 8,
+                            schedule_seed: int = 0,
+                            warmup: int | None = None,
+                            measure: int | None = None) -> tuple[dict, int]:
+    """Profile ``benchmark`` in checked mode (sanitizer attached).
+
+    Returns ``(raw_sanitizer_metrics, reference_cycles)``: the
+    :data:`SANITIZER_METRIC_NAMES` counts of the whole run plus the
+    steady-state reference cycles for normalization.
+    """
+    plugin = MetricsPlugin()
+    runner = Runner(benchmark, jit=None, cores=cores,
+                    schedule_seed=schedule_seed, plugins=(plugin,),
+                    sanitize=True)
+    runner.run(warmup=1 if warmup is None else warmup, measure=measure)
+    counters = runner.last_vm.counters
+    raw = {name: getattr(counters, name)
+           for name in SANITIZER_METRIC_NAMES if name != "mean_lockset"}
+    raw["mean_lockset"] = (
+        counters.lockset_entries / counters.lock_acquires
+        if counters.lock_acquires else 0.0)
+    return raw, plugin.reference_cycles

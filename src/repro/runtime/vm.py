@@ -59,6 +59,7 @@ class VM:
         schedule_seed: int = 0,
         jit: object = "graal",
         faults: object = None,
+        sanitize: object = None,
     ) -> None:
         self.counters = Counters()
         self.pool = ClassPool()
@@ -81,6 +82,24 @@ class VM:
         self.faults = self._make_injector(faults)
         self._fault_calls = (
             self.faults is not None and self.faults.wants_calls)
+        # Happens-before race sanitizer (repro.sanitize).  ``sanitize``
+        # is True, a SanitizerConfig, or a prepared RaceSanitizer;
+        # attaching one forces interpreter-only execution (the JIT's
+        # machine code has no access hooks).
+        self.sanitizer = None
+        if sanitize is not None and sanitize is not False:
+            self._make_sanitizer(sanitize)
+
+    def _make_sanitizer(self, sanitize) -> None:
+        from repro.sanitize.hb import RaceSanitizer, SanitizerConfig
+
+        if sanitize is True:
+            sanitize = RaceSanitizer()
+        elif isinstance(sanitize, SanitizerConfig):
+            sanitize = RaceSanitizer(sanitize)
+        if not isinstance(sanitize, RaceSanitizer):
+            raise VMError(f"bad sanitize spec {sanitize!r}")
+        sanitize.attach(self)
 
     def _make_injector(self, faults):
         if faults is None:
@@ -220,14 +239,15 @@ class VM:
         return thread_obj.meta
 
     def spawn_guest_thread(self, thread_obj, function_obj, *, name: str,
-                           daemon: bool) -> JThread:
+                           daemon: bool,
+                           parent: JThread | None = None) -> JThread:
         """Start a guest ``Thread`` whose body is a closure object."""
         target, captured = function_obj.meta
         jthread = JThread(name, daemon=daemon)
         jthread.thread_obj = thread_obj
         thread_obj.meta = jthread
         self._push_entry_frame(jthread, target, list(captured))
-        self.scheduler.spawn(jthread)
+        self.scheduler.spawn(jthread, parent=parent)
         return jthread
 
     def _push_entry_frame(self, thread: JThread, method: JMethod, args: list) -> None:

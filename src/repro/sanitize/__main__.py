@@ -1,0 +1,116 @@
+"""Command-line sanitizer sweep: ``python -m repro.sanitize``.
+
+Two stages, mirroring ``make chaos``'s role as a non-gating tier:
+
+1. **Static**: verifier + lockset + lock-order passes over every
+   registered benchmark of every suite (cheap — compiled programs are
+   cached, no execution).
+2. **Dynamic**: a smoke subset of benchmarks run in checked mode (one
+   warmup-free iteration each) through the happens-before sanitizer.
+
+Exit status is 1 when any *error*-severity static issue or any
+unsuppressed dynamic race is found; advisory warnings only are status 0.
+
+Options::
+
+    python -m repro.sanitize                  # all suites + default smoke
+    python -m repro.sanitize --suite dacapo   # one suite's static pass
+    python -m repro.sanitize --bench philosophers --json
+    python -m repro.sanitize --no-dynamic     # static only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sanitize.lockorder import build_lock_order
+from repro.sanitize.lockset import lockset_issues
+from repro.sanitize.plugin import run_checked
+from repro.sanitize.verify import verify_program
+
+#: Benchmarks the dynamic smoke stage runs by default: the concurrency
+#: archetypes (locks, STM, fork-join, futures) without the long tail.
+SMOKE_BENCHMARKS = ("philosophers", "fj-kmeans", "future-genetic")
+
+
+def static_sweep(benches) -> tuple[list, int]:
+    """Static issues for each benchmark; returns (rows, error_count)."""
+    rows = []
+    errors = 0
+    for bench in benches:
+        program = bench.compile()
+        issues = list(verify_program(program))
+        issues.extend(lockset_issues(program))
+        issues.extend(build_lock_order(program).issues())
+        errors += sum(1 for i in issues if i.severity == "error")
+        rows.append((bench, issues))
+    return rows, errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize",
+        description="Static + dynamic concurrency sanitizer sweep")
+    parser.add_argument("--suite", default=None,
+                        help="restrict to one registered suite")
+    parser.add_argument("--bench", default=None,
+                        help="restrict to one benchmark (dynamic too)")
+    parser.add_argument("--no-dynamic", action="store_true",
+                        help="skip the checked-mode smoke runs")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="schedule seed for the checked runs")
+    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--json", action="store_true",
+                        help="print race reports as canonical JSON")
+    args = parser.parse_args(argv)
+
+    from repro.suites.registry import all_benchmarks, benchmarks_of, \
+        get_benchmark
+
+    if args.bench is not None:
+        benches = [get_benchmark(args.bench)]
+        smoke = [b.name for b in benches]
+    elif args.suite is not None:
+        benches = list(benchmarks_of(args.suite))
+        smoke = [b.name for b in benches if b.name in SMOKE_BENCHMARKS]
+    else:
+        benches = list(all_benchmarks())
+        smoke = list(SMOKE_BENCHMARKS)
+
+    rows, static_errors = static_sweep(benches)
+    total = sum(len(issues) for _, issues in rows)
+    print(f"static: {len(rows)} benchmark(s), {total} issue(s), "
+          f"{static_errors} error(s)")
+    # The stdlib ships with every program, so its advisories repeat in
+    # every benchmark: print each distinct issue once, with a tally.
+    first: dict = {}
+    repeats: dict = {}
+    for bench, issues in rows:
+        for issue in issues:
+            key = (issue.pass_name, issue.method, issue.line, issue.message)
+            if key in first:
+                repeats[key] = repeats.get(key, 0) + 1
+            else:
+                first[key] = (bench.name, issue)
+    for key, (name, issue) in first.items():
+        extra = repeats.get(key, 0)
+        tail = f"  [repeats in {extra} more benchmark(s)]" if extra else ""
+        print(f"  {name}: {issue.format()}{tail}")
+
+    races = 0
+    if not args.no_dynamic:
+        for name in smoke:
+            report, _ = run_checked(
+                get_benchmark(name), cores=args.cores,
+                schedule_seed=args.seed, static=False)
+            races += len(report.races)
+            print(f"checked: {report.format()}")
+            if args.json:
+                print(report.to_json())
+
+    return 1 if static_errors or races else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

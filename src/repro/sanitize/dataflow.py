@@ -1,0 +1,144 @@
+"""Generic worklist dataflow engine over :class:`~repro.sanitize.cfg.CFG`.
+
+A pass describes itself as a :class:`DataflowProblem` — direction, the
+boundary fact at the entry (or exits, for backward problems), a ``join``
+for merging facts at control-flow confluences, and a per-instruction
+transfer function.  :func:`solve` iterates to a fixpoint over reachable
+blocks in (reverse) postorder and returns the per-block in/out facts.
+
+``None`` is the "top" sentinel: a block that has not been reached by any
+fact yet.  ``join`` is never called with ``None`` operands; a fact that
+is still ``None`` after solving belongs to an unreachable block.
+
+Facts must be immutable values with structural equality (``frozenset``,
+tuples, ints) — the engine detects convergence via ``!=``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sanitize.cfg import CFG
+
+
+@dataclass
+class DataflowProblem:
+    """One dataflow analysis: lattice + transfer in, fixpoint out."""
+
+    direction: str                       # "forward" | "backward"
+    boundary: object                     # fact at entry (or exit) blocks
+    join: Callable[[object, object], object]
+    transfer: Callable[[object, object, int], object]
+    # transfer(fact, instr, pc) -> fact; applied in pc order (forward)
+    # or reverse pc order (backward) within each block.
+    name: str = "dataflow"
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint facts, per block index.  ``None`` = unreachable/top."""
+
+    problem: DataflowProblem
+    cfg: CFG
+    in_facts: dict[int, object] = field(default_factory=dict)
+    out_facts: dict[int, object] = field(default_factory=dict)
+
+    def fact_at(self, pc: int) -> object:
+        """The fact holding *before* ``pc`` executes (forward problems).
+
+        Recomputed by replaying the block's transfers from its in-fact;
+        handy for reporting, not for hot loops.
+        """
+        block = self.cfg.block_of(pc)
+        fact = self.in_facts.get(block.index)
+        if fact is None:
+            return None
+        transfer = self.problem.transfer
+        for p in range(block.start, pc):
+            fact = transfer(fact, self.cfg.code[p], p)
+        return fact
+
+
+def solve(cfg: CFG, problem: DataflowProblem) -> DataflowResult:
+    """Run ``problem`` to fixpoint over the reachable blocks of ``cfg``."""
+    forward = problem.direction == "forward"
+    if not forward and problem.direction != "backward":
+        raise ValueError(f"bad direction {problem.direction!r}")
+
+    order = cfg.rpo()
+    if not forward:
+        order = list(reversed(order))
+    reachable = {b.index for b in order}
+    transfer = problem.transfer
+    join = problem.join
+    code = cfg.code
+
+    def flow_through(block, fact):
+        pcs = block.pcs() if forward else reversed(block.pcs())
+        for pc in pcs:
+            fact = transfer(fact, code[pc], pc)
+        return fact
+
+    in_facts: dict[int, object] = {i: None for i in reachable}
+    out_facts: dict[int, object] = {i: None for i in reachable}
+
+    # Boundary blocks: the entry (forward) or every exit block (backward:
+    # blocks whose terminator has no successors).
+    if forward:
+        in_facts[cfg.entry] = problem.boundary
+    else:
+        for block in order:
+            if not block.succs:
+                out_facts[block.index] = problem.boundary
+
+    worklist = deque(b.index for b in order)
+    queued = set(worklist)
+    blocks = cfg.blocks
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        block = blocks[index]
+        if forward:
+            fact = in_facts[index]
+            for pred in block.preds:
+                if pred in reachable and out_facts[pred] is not None:
+                    prior = out_facts[pred]
+                    fact = prior if fact is None else join(fact, prior)
+            # Re-merging predecessors may refine the entry fact too; keep
+            # the boundary joined in at the entry block.
+            if index == cfg.entry:
+                fact = problem.boundary if fact is None \
+                    else join(fact, problem.boundary)
+            if fact is None:
+                continue
+            in_facts[index] = fact
+            new_out = flow_through(block, fact)
+            if new_out != out_facts[index]:
+                out_facts[index] = new_out
+                for succ in block.succs:
+                    if succ in reachable and succ not in queued:
+                        worklist.append(succ)
+                        queued.add(succ)
+        else:
+            fact = out_facts[index]
+            for succ in block.succs:
+                if succ in reachable and in_facts[succ] is not None:
+                    prior = in_facts[succ]
+                    fact = prior if fact is None else join(fact, prior)
+            if not block.succs:
+                fact = problem.boundary if fact is None \
+                    else join(fact, problem.boundary)
+            if fact is None:
+                continue
+            out_facts[index] = fact
+            new_in = flow_through(block, fact)
+            if new_in != in_facts[index]:
+                in_facts[index] = new_in
+                for pred in block.preds:
+                    if pred in reachable and pred not in queued:
+                        worklist.append(pred)
+                        queued.add(pred)
+
+    return DataflowResult(problem, cfg, in_facts, out_facts)

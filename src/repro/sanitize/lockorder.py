@@ -1,0 +1,218 @@
+"""Static lock-order graph: predicting deadlocks without running.
+
+Nodes are the abstract lock symbols of :mod:`repro.sanitize.locks`;
+an edge ``a -> b`` means some thread can acquire ``b`` while holding
+``a`` — directly (a nested ``synchronized``) or transitively (a call
+made under ``a`` into a method that acquires ``b``).  A cycle in this
+graph is a potential deadlock: two threads traversing the cycle from
+different entry points can each hold what the other wants.
+
+The abstraction is name-based (``this`` of class C is one node for all
+instances of C), which is the classic sound-for-ordering/imprecise-for-
+aliasing trade-off.  ``("?",)`` locks — params, array elements, locals
+the symbolic interpreter lost — contribute *no* edges: an unknown node
+would immediately manufacture spurious cycles.  The dynamic
+happens-before layer covers what this pass abstracts away, and
+:func:`cross_check` ties the two together by comparing a scheduler
+thread dump's observed wait-for cycle with the predicted ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sanitize.locks import UNKNOWN, lock_facts, sym_name
+from repro.sanitize.reports import StaticIssue
+from repro.sanitize.verify import _classes_of
+
+
+@dataclass
+class LockOrderGraph:
+    """Edges between abstract lock symbols, with one example site each."""
+
+    edges: dict = field(default_factory=dict)   # (a, b) -> "Class.m:line"
+    nodes: set = field(default_factory=set)
+
+    def add_edge(self, a: tuple, b: tuple, site: str) -> None:
+        if a == UNKNOWN or b == UNKNOWN or a == b:
+            return
+        self.nodes.add(a)
+        self.nodes.add(b)
+        self.edges.setdefault((a, b), site)
+
+    def succs(self, node: tuple) -> list:
+        return sorted(b for (a, b) in self.edges if a == node)
+
+    # ------------------------------------------------------------------
+    def cycles(self) -> list[list[tuple]]:
+        """All nontrivial SCCs, each rotated to start at its least node.
+
+        Deterministic: nodes are visited in sorted order and each cycle
+        is reported as a sorted member list.
+        """
+        # Tarjan's algorithm, iterative, over sorted nodes.
+        index: dict[tuple, int] = {}
+        low: dict[tuple, int] = {}
+        on_stack: set = set()
+        stack: list[tuple] = []
+        sccs: list[list[tuple]] = []
+        counter = [0]
+
+        def strongconnect(root):
+            work = [(root, iter(self.succs(root)))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, succs = work[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(self.succs(succ))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    if len(scc) > 1:
+                        sccs.append(sorted(scc))
+
+        for node in sorted(self.nodes):
+            if node not in index:
+                strongconnect(node)
+        sccs.sort()
+        return sccs
+
+    def issues(self) -> list[StaticIssue]:
+        """One warning per predicted deadlock cycle."""
+        out = []
+        for cycle in self.cycles():
+            names = [sym_name(s) for s in cycle]
+            # An example edge inside the cycle locates the report.
+            members = set(cycle)
+            site = min(
+                site for (a, b), site in self.edges.items()
+                if a in members and b in members)
+            out.append(StaticIssue(
+                "lockorder", "warning", site.rsplit(":", 1)[0], -1,
+                int(site.rsplit(":", 1)[1]),
+                "lock-order cycle (potential deadlock): "
+                + " <-> ".join(names)))
+        return out
+
+    def format(self) -> str:
+        lines = [f"lock-order graph: {len(self.nodes)} locks, "
+                 f"{len(self.edges)} edges"]
+        for (a, b) in sorted(self.edges):
+            lines.append(f"  {sym_name(a)} -> {sym_name(b)} "
+                         f"[{self.edges[(a, b)]}]")
+        return "\n".join(lines)
+
+
+def build_lock_order(program) -> LockOrderGraph:
+    """Build the whole-program lock-order graph.
+
+    Interprocedural: a call executed while holding lock ``a`` adds edges
+    from ``a`` to every lock the callee may (transitively) acquire,
+    resolved name-wise over the static call graph.  Virtual calls with
+    an unknown owner fan out to every class defining the method name;
+    closure calls (``invoke`` through a handle) are skipped — the static
+    pass cannot see through them, the dynamic sanitizer can.
+    """
+    classes = _classes_of(program)
+    methods = {}          # qualified -> JMethod
+    by_name = {}          # simple name -> [qualified]
+    all_facts = {}        # qualified -> LockFacts
+    for cls in classes:
+        for name in sorted(cls.methods):
+            method = cls.methods[name]
+            methods[method.qualified] = method
+            by_name.setdefault(name, []).append(method.qualified)
+            all_facts[method.qualified] = lock_facts(method)
+
+    def resolve(callee: tuple) -> list[str]:
+        owner, name = callee
+        if owner is None:
+            if name == "invoke":
+                return []
+            return by_name.get(name, [])
+        qualified = f"{owner}.{name}"
+        if qualified in methods:
+            return [qualified]
+        # Inherited method: find it anywhere under the simple name.
+        return [q for q in by_name.get(name, [])]
+
+    # Transitive may-acquire sets, to fixpoint over the call graph.
+    acquires = {
+        q: {a.lock for a in f.acquires if a.lock != UNKNOWN}
+        for q, f in all_facts.items()}
+    changed = True
+    while changed:
+        changed = False
+        for q, facts in all_facts.items():
+            mine = acquires[q]
+            before = len(mine)
+            for call in facts.calls:
+                for callee in resolve(call.callee):
+                    mine |= acquires[callee]
+            if len(mine) != before:
+                changed = True
+
+    graph = LockOrderGraph()
+    for q in sorted(all_facts):
+        facts = all_facts[q]
+        for acq in facts.acquires:
+            site = f"{q}:{acq.line}"
+            for held in acq.held:
+                graph.add_edge(held, acq.lock, site)
+        for call in facts.calls:
+            if not call.held:
+                continue
+            site = f"{q}:{call.line}"
+            for callee in resolve(call.callee):
+                for lock in sorted(acquires[callee]):
+                    for held in call.held:
+                        graph.add_edge(held, lock, site)
+    return graph
+
+
+def cross_check(graph: LockOrderGraph, thread_dump: dict) -> dict:
+    """Compare a dynamic deadlock (scheduler dump) with the static graph.
+
+    Returns ``{"dynamic_cycle", "blocked_monitors", "static_cycles",
+    "consistent"}`` where ``consistent`` means: either no dynamic
+    deadlock was observed, or the static graph predicted at least one
+    lock-order cycle (the static abstraction cannot always name the
+    same objects — monitors are instances, nodes are symbols — so the
+    check is at the did-we-predict-any level, refined by class overlap
+    when tags allow it).
+    """
+    dynamic = thread_dump.get("deadlock_cycle")
+    blocked = sorted({
+        t["blocked_on"] for t in thread_dump.get("threads", ())
+        if t.get("blocked_on")})
+    static_cycles = [[sym_name(s) for s in c] for c in graph.cycles()]
+    return {
+        "dynamic_cycle": dynamic,
+        "blocked_monitors": blocked,
+        "static_cycles": static_cycles,
+        "consistent": dynamic is None or bool(static_cycles),
+    }

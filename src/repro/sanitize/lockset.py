@@ -1,0 +1,64 @@
+"""Inconsistent-locking analysis (static lockset pass).
+
+Aggregates the per-method :class:`~repro.sanitize.locks.LockFacts` over
+a whole program and flags fields that are accessed both *under* a
+monitor and *outside* any monitor, with at least one write — the classic
+Eraser-style "candidate lockset went empty" signal, computed statically.
+
+Findings are warnings, not errors: lock-free publication idioms (final
+fields after construction, volatile-like atomics) are legitimate.
+Constructor (``init``/``__clinit__``) accesses do not count as unguarded
+evidence — the object is thread-confined during construction — and
+fields touched by CAS/ATOMIC_* anywhere are skipped entirely.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.locks import lock_facts, sym_name
+from repro.sanitize.reports import StaticIssue
+from repro.sanitize.verify import _classes_of
+
+_CONSTRUCTORS = ("init", "__clinit__")
+
+
+def lockset_issues(program) -> list[StaticIssue]:
+    """All inconsistent-locking warnings for a compiled program."""
+    # target -> aggregated evidence across methods.
+    guarded: dict[tuple, int] = {}
+    unguarded: dict[tuple, list] = {}   # [(qualified, line, kind)]
+    writes: dict[tuple, int] = {}
+    atomic: set = set()
+
+    for cls in _classes_of(program):
+        for name in sorted(cls.methods):
+            method = cls.methods[name]
+            if method.code is None:
+                continue
+            facts = lock_facts(method)
+            atomic |= facts.atomic_fields
+            in_ctor = method.name in _CONSTRUCTORS
+            for access in facts.accesses:
+                target = access.target
+                if access.kind == "write":
+                    writes[target] = writes.get(target, 0) + 1
+                if access.held:
+                    guarded[target] = guarded.get(target, 0) + 1
+                elif not in_ctor:
+                    unguarded.setdefault(target, []).append(
+                        (method.qualified, access.line, access.kind))
+
+    issues: list[StaticIssue] = []
+    for target in sorted(guarded):
+        if target not in unguarded or not writes.get(target):
+            continue
+        if target in atomic or ("name", target[-1]) in atomic:
+            continue
+        sites = unguarded[target]
+        qualified, line, kind = sites[0]
+        extra = f" (+{len(sites) - 1} more)" if len(sites) > 1 else ""
+        issues.append(StaticIssue(
+            "lockset", "warning", qualified, -1, line,
+            f"field {sym_name(target)} is locked in "
+            f"{guarded[target]} place(s) but {kind} without a lock "
+            f"here{extra}"))
+    return issues

@@ -1,0 +1,131 @@
+"""Report types shared by the static passes and the dynamic sanitizer.
+
+Both mirror :class:`repro.faults.report.FailureReport`: plain dataclasses
+with a canonical :meth:`to_json` (sorted keys, fixed separators) so that
+two runs with identical seeds compare byte-identical — the property the
+acceptance tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StaticIssue:
+    """One finding of a static pass over a single method."""
+
+    pass_name: str       # "verify" | "lockset" | "lockorder"
+    severity: str        # "error" | "warning"
+    method: str          # qualified "Class.method"
+    pc: int              # bytecode pc (-1 when not pc-specific)
+    line: int            # source line (0 when unknown)
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "severity": self.severity,
+            "method": self.method,
+            "pc": self.pc,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        where = f"{self.method}:{self.line}" if self.line else self.method
+        pc = f" @pc{self.pc}" if self.pc >= 0 else ""
+        return (f"{self.severity.upper()} [{self.pass_name}] "
+                f"{where}{pc}: {self.message}")
+
+
+def issues_to_json(issues) -> str:
+    """Canonical JSON for a list of :class:`StaticIssue`."""
+    return json.dumps([i.to_dict() for i in issues], sort_keys=True,
+                      separators=(",", ":"))
+
+
+@dataclass
+class RaceReport:
+    """Everything one checked (sanitized) run found.
+
+    ``races`` is a list of dicts, one per distinct race, each carrying
+    the variable, both access kinds, both sites (``Class.method:line``)
+    and the racing thread names.  ``counts`` is the sanitizer counter
+    snapshot (race_checks, vc_promotions, ...).  Reports are replayable:
+    re-running the same benchmark with the same ``schedule_seed`` (and
+    cores) reproduces the identical report, byte for byte.
+    """
+
+    benchmark: str
+    config: str
+    schedule_seed: int
+    cores: int
+    races: list = field(default_factory=list)
+    static_issues: list = field(default_factory=list)  # StaticIssue dicts
+    counts: dict = field(default_factory=dict)
+    suppressed: int = 0   # races silenced by the suppression list
+    truncated: bool = False   # max_reports reached; later races dropped
+
+    @property
+    def clean(self) -> bool:
+        return not self.races
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config,
+            "schedule_seed": self.schedule_seed,
+            "cores": self.cores,
+            "races": list(self.races),
+            "static_issues": list(self.static_issues),
+            "counts": dict(self.counts),
+            "suppressed": self.suppressed,
+            "truncated": self.truncated,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: byte-identical for identical runs."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> RaceReport:
+        return cls(**json.loads(text))
+
+    # ------------------------------------------------------------------
+    def reproduce_hint(self) -> str:
+        return (f"run_checked(get_benchmark({self.benchmark!r}), "
+                f"cores={self.cores}, "
+                f"schedule_seed={self.schedule_seed})")
+
+    def format(self) -> str:
+        verdict = "clean" if self.clean else f"{len(self.races)} race(s)"
+        lines = [
+            f"RACE REPORT {self.benchmark} [{self.config}] "
+            f"seed={self.schedule_seed} cores={self.cores}: {verdict}"
+        ]
+        for race in self.races:
+            lines.append(
+                f"  race on {race['variable']}:"
+            )
+            lines.append(
+                f"    {race['prior_kind']} by {race['prior_thread']} "
+                f"at {race['prior_site']}")
+            lines.append(
+                f"    {race['kind']} by {race['thread']} "
+                f"at {race['site']}")
+        if self.suppressed:
+            lines.append(f"  suppressed: {self.suppressed}")
+        if self.truncated:
+            lines.append("  (truncated: report limit reached)")
+        if self.counts:
+            checked = self.counts.get("race_checks", 0)
+            lines.append(f"  checks: {checked} accesses, "
+                         f"{self.counts.get('hb_edges', 0)} hb edges, "
+                         f"{self.counts.get('vc_promotions', 0)} "
+                         "vc promotions")
+        lines.append("  reproduce: " + self.reproduce_hint())
+        return "\n".join(lines)

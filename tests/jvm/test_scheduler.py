@@ -202,6 +202,56 @@ def test_cpu_utilization_bounds():
     assert sched.cpu_utilization() == 0.5
 
 
+def test_kill_releases_owned_monitors():
+    sched = make_sched()
+    victim, waiter = JThread("victim"), JThread("waiter")
+    obj = make_obj()
+    sched.threads.extend([victim, waiter])
+    sched.monitor_enter(victim, obj)
+    assert not sched.monitor_enter(waiter, obj)
+    assert waiter.state == BLOCKED
+    sched.kill(victim)
+    # The victim's monitor was handed to the blocked thread, so the
+    # kill cannot wedge the rest of the system.
+    assert victim.state == TERMINATED
+    assert obj.monitor.owner is waiter
+    assert waiter.state == RUNNABLE
+
+
+def test_kill_purges_victim_from_entry_queue():
+    sched = make_sched()
+    owner, victim = JThread("owner"), JThread("victim")
+    obj = make_obj()
+    sched.threads.extend([owner, victim])
+    sched.monitor_enter(owner, obj)
+    sched.monitor_enter(victim, obj)          # victim blocks
+    sched.kill(victim)
+    sched.monitor_exit(owner, obj)
+    # The dead thread must not be granted the monitor.
+    assert obj.monitor.owner is not victim
+
+
+def test_thread_dump_is_deterministic():
+    def dump():
+        sched = make_sched()
+        a, b = JThread("a"), JThread("b")
+        obj = make_obj()
+        sched.spawn(a)                        # spawn renumbers tids
+        sched.spawn(b)
+        sched.monitor_enter(a, obj)
+        sched.monitor_enter(b, obj)           # b blocks on a's monitor
+        return sched.thread_dump()
+
+    first, second = dump(), dump()
+    assert first == second
+    # Canonical JSON of the dump is byte-identical too (report files).
+    import json
+    assert json.dumps(first, sort_keys=True) == \
+        json.dumps(second, sort_keys=True)
+    blocked = [t for t in first["threads"] if t["state"] == BLOCKED]
+    assert len(blocked) == 1 and blocked[0]["name"] == "b"
+
+
 def test_determinism_same_seed_same_interleaving():
     def trace(seed):
         sched = Scheduler(cores=2, quantum=10, seed=seed)

@@ -1,0 +1,352 @@
+"""Tests for repro.sanitize: the CFG/dataflow framework, the static
+verifier/lockset/lock-order passes, and the dynamic happens-before race
+sanitizer (fixture detection, clean controls, determinism)."""
+
+import json
+
+import pytest
+
+from repro.errors import LinkError
+from repro.jvm.bytecode import Instr, Op
+from repro.jvm.classfile import ClassPool, JClass, JMethod
+from repro.sanitize import (
+    DataflowProblem,
+    RaceReport,
+    SanitizerConfig,
+    build_cfg,
+    build_lock_order,
+    check_monitor_balance,
+    cross_check,
+    dominators,
+    lockset_issues,
+    run_checked,
+    solve,
+    verify_method,
+    verify_program,
+)
+from repro.suites.registry import get_benchmark
+from tests.fixtures import (
+    GUARDED_BENCHMARK,
+    LOCK_CYCLE_BENCHMARK,
+    RACE_BENCHMARK,
+)
+
+
+def method_of(code, *, params=0, max_locals=None, name="m"):
+    nargs = params   # static methods: no receiver slot
+    return JMethod(name, "C", params, code, static=True,
+                   max_locals=nargs if max_locals is None else max_locals)
+
+
+# ----------------------------------------------------------------------
+# CFG + dominators.
+# ----------------------------------------------------------------------
+
+def diamond_code():
+    return [
+        Instr(Op.CONST, 1),           # 0
+        Instr(Op.IFZ, ("==", 4)),     # 1: branch
+        Instr(Op.CONST, 2),           # 2
+        Instr(Op.GOTO, 5),            # 3
+        Instr(Op.CONST, 3),           # 4
+        Instr(Op.RETURN),             # 5: merge
+    ]
+
+
+def test_cfg_diamond_blocks_and_edges():
+    cfg = build_cfg(diamond_code())
+    starts = sorted(b.start for b in cfg.blocks)
+    assert starts == [0, 2, 4, 5]
+    entry = cfg.block_of(0)
+    merge = cfg.block_of(5)
+    assert sorted(b.start for b in
+                  (cfg.blocks[i] for i in entry.succs)) == [2, 4]
+    assert all(merge.index in cfg.blocks[i].succs
+               for i in (cfg.block_of(2).index, cfg.block_of(4).index))
+
+
+def test_cfg_reachability_and_rpo():
+    code = diamond_code() + [Instr(Op.CONST, 9), Instr(Op.NEG),
+                             Instr(Op.RETVAL)]          # dead tail
+    cfg = build_cfg(code)
+    reachable = {b.start for b in cfg.rpo()}
+    assert 6 not in reachable
+    assert cfg.rpo()[0] is cfg.block_of(0)
+
+
+def test_dominators_diamond():
+    cfg = build_cfg(diamond_code())
+    dom = dominators(cfg)
+    entry = cfg.block_of(0).index
+    merge = cfg.block_of(5).index
+    # The merge block is dominated by the entry but by neither arm.
+    assert entry in dom[merge]
+    assert cfg.block_of(2).index not in dom[merge]
+    assert cfg.block_of(4).index not in dom[merge]
+
+
+# ----------------------------------------------------------------------
+# Dataflow engine.
+# ----------------------------------------------------------------------
+
+def test_dataflow_forward_defined_slots():
+    code = [
+        Instr(Op.CONST, 1),           # 0
+        Instr(Op.IFZ, ("==", 5)),     # 1
+        Instr(Op.CONST, 7),           # 2
+        Instr(Op.STORE, 0),           # 3: defines slot 0 on one arm only
+        Instr(Op.GOTO, 5),            # 4
+        Instr(Op.RETURN),             # 5
+    ]
+    cfg = build_cfg(code)
+    problem = DataflowProblem(
+        "forward", frozenset(),
+        lambda a, b: a & b,
+        lambda fact, instr, pc:
+            fact | {instr.arg} if instr.op is Op.STORE else fact)
+    result = solve(cfg, problem)
+    merge = cfg.block_of(5)
+    assert result.in_facts[merge.index] == frozenset()    # intersection
+    arm = cfg.block_of(2)
+    assert result.out_facts[arm.index] == frozenset({0})
+
+
+def test_dataflow_fact_at_replays_block():
+    code = [Instr(Op.STORE, 0), Instr(Op.STORE, 1), Instr(Op.RETURN)]
+    cfg = build_cfg(code)
+    problem = DataflowProblem(
+        "forward", frozenset(),
+        lambda a, b: a | b,
+        lambda fact, instr, pc:
+            fact | {instr.arg} if instr.op is Op.STORE else fact)
+    result = solve(cfg, problem)
+    assert result.fact_at(1) == frozenset({0})
+    assert result.fact_at(2) == frozenset({0, 1})
+
+
+# ----------------------------------------------------------------------
+# Structural verifier.
+# ----------------------------------------------------------------------
+
+def test_verify_stack_underflow_is_error():
+    issues = verify_method(method_of([Instr(Op.POP), Instr(Op.RETURN)]))
+    assert any(i.severity == "error" and "underflow" in i.message
+               for i in issues)
+
+
+def test_verify_use_before_def():
+    code = [Instr(Op.LOAD, 1), Instr(Op.RETVAL)]
+    issues = verify_method(method_of(code, params=1, max_locals=2))
+    assert any("slot 1" in i.message and i.severity == "error"
+               for i in issues)
+    # Argument slots count as assigned: slot 0 is fine.
+    clean = verify_method(method_of(
+        [Instr(Op.LOAD, 0), Instr(Op.RETVAL)], params=1))
+    assert clean == []
+
+
+def test_verify_unreachable_code_warns_but_skips_epilogue():
+    code = [Instr(Op.RETURN), Instr(Op.LOAD, 0), Instr(Op.NEG),
+            Instr(Op.RETVAL)]
+    issues = verify_method(method_of(code, params=1))
+    assert any(i.message == "unreachable code" for i in issues)
+    # A trailing bare RETURN (the codegen's implicit epilogue) is not
+    # reported even though it is unreachable.
+    epilogue = [Instr(Op.CONST, 1), Instr(Op.RETVAL), Instr(Op.RETURN)]
+    assert verify_method(method_of(epilogue)) == []
+
+
+def test_verify_return_while_holding_monitor():
+    code = [Instr(Op.LOAD, 0), Instr(Op.MONITORENTER), Instr(Op.RETURN)]
+    issues = verify_method(method_of(code, params=1))
+    assert any("monitor(s) still held" in i.message for i in issues)
+
+
+def test_verify_whole_suite_programs_are_clean():
+    for name in ("philosophers", "fj-kmeans"):
+        program = get_benchmark(name).compile()
+        assert verify_program(program) == []
+
+
+# ----------------------------------------------------------------------
+# Load-time monitor balance (the LinkError bugfix).
+# ----------------------------------------------------------------------
+
+def test_unbalanced_monitorexit_raises_linkerror():
+    code = [Instr(Op.LOAD, 0), Instr(Op.MONITOREXIT), Instr(Op.RETURN)]
+    with pytest.raises(LinkError, match="MONITOREXIT"):
+        check_monitor_balance(code, "C.m")
+
+
+def test_leaking_monitorenter_raises_linkerror():
+    code = [Instr(Op.LOAD, 0), Instr(Op.MONITORENTER), Instr(Op.RETURN)]
+    with pytest.raises(LinkError, match="still held"):
+        check_monitor_balance(code, "C.m")
+
+
+def test_monitor_imbalance_fails_at_link_time_not_mid_run():
+    pool = ClassPool()
+    cls = JClass("Bad")
+    method = JMethod("broken", "Bad", 0, [
+        Instr(Op.LOAD, 0), Instr(Op.MONITORENTER), Instr(Op.RETURN),
+    ], max_locals=1)
+    cls.add_method(method)
+    pool.define(cls)
+    with pytest.raises(LinkError, match="Bad.broken"):
+        pool.link_all()
+
+
+def test_balanced_monitors_link_fine():
+    code = [Instr(Op.LOAD, 0), Instr(Op.MONITORENTER),
+            Instr(Op.LOAD, 0), Instr(Op.MONITOREXIT), Instr(Op.RETURN)]
+    check_monitor_balance(code, "C.ok")   # no raise
+
+
+# ----------------------------------------------------------------------
+# Lockset + lock-order static passes.
+# ----------------------------------------------------------------------
+
+def test_lockset_flags_mostly_guarded_field():
+    program = LOCK_CYCLE_BENCHMARK.compile()
+    issues = lockset_issues(program)
+    assert any("Locks.hits" in i.message for i in issues)
+    assert all(i.severity == "warning" for i in issues)
+
+
+def test_lock_order_cycle_detected_on_fixture():
+    graph = build_lock_order(LOCK_CYCLE_BENCHMARK.compile())
+    cycles = graph.cycles()
+    assert cycles == [[("field", "Locks", "a"), ("field", "Locks", "b")]]
+    issues = graph.issues()
+    assert len(issues) == 1
+    assert "Locks.a <-> Locks.b" in issues[0].message
+
+
+def test_lock_order_clean_on_suite_benchmarks():
+    for name in ("philosophers", "fj-kmeans"):
+        graph = build_lock_order(get_benchmark(name).compile())
+        assert graph.cycles() == []
+
+
+def test_lock_order_graph_is_deterministic():
+    a = build_lock_order(LOCK_CYCLE_BENCHMARK.compile())
+    b = build_lock_order(LOCK_CYCLE_BENCHMARK.compile())
+    assert a.format() == b.format()
+
+
+def test_cross_check_no_dynamic_deadlock_is_consistent():
+    graph = build_lock_order(LOCK_CYCLE_BENCHMARK.compile())
+    verdict = cross_check(graph, {"deadlock_cycle": None, "threads": []})
+    assert verdict["consistent"]
+    assert verdict["static_cycles"] == [["Locks.a", "Locks.b"]]
+
+
+def test_cross_check_dynamic_deadlock_needs_static_cycle():
+    verdict = cross_check(
+        build_lock_order(GUARDED_BENCHMARK.compile()),
+        {"deadlock_cycle": ["a#2", "b#3"],
+         "threads": [{"blocked_on": "<Pad@10>"}]})
+    assert not verdict["consistent"]
+    assert verdict["blocked_monitors"] == ["<Pad@10>"]
+
+
+# ----------------------------------------------------------------------
+# Dynamic happens-before sanitizer.
+# ----------------------------------------------------------------------
+
+def test_race_fixture_is_flagged():
+    report, _ = run_checked(RACE_BENCHMARK, static=False)
+    assert not report.clean
+    assert any(r["variable"] == "Counter.value" for r in report.races)
+    kinds = {r["kind"] for r in report.races}
+    assert any("write" in k for k in kinds)
+    assert report.counts["races_found"] > 0
+
+
+def test_guarded_fixture_is_clean():
+    report, result = run_checked(GUARDED_BENCHMARK, static=False)
+    assert report.clean
+    assert result.iterations[-1].result == 400
+    assert report.counts["lock_acquires"] > 0
+
+
+def test_lock_cycle_fixture_dynamically_clean_statically_flagged():
+    report, _ = run_checked(LOCK_CYCLE_BENCHMARK)
+    assert report.clean
+    assert any(i["pass"] == "lockorder" for i in report.static_issues)
+
+
+def test_suite_benchmarks_are_race_free():
+    for name in ("philosophers", "fj-kmeans"):
+        report, _ = run_checked(get_benchmark(name), warmup=1, measure=1,
+                                static=False)
+        assert report.clean, report.format()
+
+
+def test_checked_run_is_deterministic():
+    a, _ = run_checked(RACE_BENCHMARK, static=False)
+    b, _ = run_checked(RACE_BENCHMARK, static=False)
+    assert a.to_json() == b.to_json()
+
+
+def test_race_report_roundtrip_and_hint():
+    report, _ = run_checked(RACE_BENCHMARK, schedule_seed=3, static=False)
+    again = RaceReport.from_json(report.to_json())
+    assert again.to_json() == report.to_json()
+    assert "schedule_seed=3" in report.reproduce_hint()
+    payload = json.loads(report.to_json())
+    assert payload["benchmark"] == "fixture-race"
+
+
+def test_suppression_config():
+    config = SanitizerConfig(suppress=("Counter.*",))
+    report, _ = run_checked(RACE_BENCHMARK, config=config, static=False)
+    assert report.clean
+    assert report.suppressed > 0
+
+
+def test_sanitizer_counters_exported_through_runner():
+    from repro.harness.core import Runner
+
+    runner = Runner(RACE_BENCHMARK, sanitize=True)
+    result = runner.run(warmup=0, measure=1)
+    assert result.config == "interpreter"     # checked runs drop the JIT
+    assert result.counters["race_checks"] > 0
+    assert runner.sanitize_plugin.report is not None
+    snapshot = runner.last_vm.counters.snapshot()
+    for name in ("race_checks", "hb_edges", "lock_acquires",
+                 "lockset_entries", "vc_promotions"):
+        assert name in snapshot
+
+
+def test_run_suite_sanitize_collects_reports():
+    from repro.faults.resilience import run_suite
+
+    suite = run_suite([RACE_BENCHMARK, GUARDED_BENCHMARK],
+                      sanitize=True, warmup=0, measure=1)
+    assert len(suite.race_reports) == 2
+    assert [r.benchmark for r in suite.racy] == ["fixture-race"]
+
+
+def test_vm_sanitize_kwarg_forces_interpreter():
+    from repro.runtime import VM
+
+    vm = VM(jit="graal", sanitize=True)
+    assert vm.jit is None
+    assert vm.sanitizer is not None
+
+
+def test_checked_metrics_normalization():
+    from repro.metrics import (
+        SANITIZER_METRIC_NAMES,
+        collect_checked_metrics,
+        normalize_sanitizer_metrics,
+    )
+
+    raw, cycles = collect_checked_metrics(GUARDED_BENCHMARK, warmup=0,
+                                          measure=1)
+    assert cycles > 0
+    normalized = normalize_sanitizer_metrics(raw, cycles)
+    assert set(normalized) == set(SANITIZER_METRIC_NAMES)
+    assert normalized["races_found"] == 0
+    assert 0 < normalized["lock_acquires"] < 1
