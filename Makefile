@@ -14,4 +14,16 @@ chaos:
 sanitize:
 	PYTHONPATH=src python -m repro.sanitize
 
-.PHONY: test chaos sanitize
+# Self-benchmark: time the simulator itself (reference vs threaded
+# engine) over a fixed workload slice and (re)write the committed
+# BENCH_interpreter.json baseline.
+bench:
+	python benchmarks/selfbench.py
+
+# Tier-2: fail if threaded-engine ops/sec regressed >10% against the
+# committed BENCH_interpreter.json baseline.  Never gates tier-1 (host
+# timing is machine-dependent).
+bench-check:
+	python benchmarks/selfbench.py --check
+
+.PHONY: test chaos sanitize bench bench-check

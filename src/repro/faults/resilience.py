@@ -231,7 +231,8 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
               faults=None, iteration_budget: int | None = DEFAULT_ITERATION_BUDGET,
               max_retries: int = 2, repeat: int = 1,
               quarantine: Quarantine | None = None,
-              plugins: tuple = (), sanitize=None) -> SuiteResult:
+              plugins: tuple = (), sanitize=None,
+              jobs: int | None = None) -> SuiteResult:
     """Run every benchmark of ``suite``, surviving individual failures.
 
     ``suite`` is a registry suite name or an iterable of
@@ -242,8 +243,20 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
     :class:`SuiteResult`; otherwise the original exception propagates.
     ``sanitize`` (``True`` or a SanitizerConfig) runs every benchmark in
     checked mode and collects one RaceReport per completed run in
-    ``SuiteResult.race_reports``.
+    ``SuiteResult.race_reports``.  ``jobs`` > 1 shards the sweep across
+    that many worker processes (see :mod:`repro.harness.parallel`) with
+    a byte-identical merged result; ``None``/1 runs serially in-process.
     """
+    if jobs is not None and jobs > 1:
+        from repro.harness.parallel import run_suite_parallel
+
+        return run_suite_parallel(
+            suite, jobs=jobs, jit=jit, cores=cores,
+            schedule_seed=schedule_seed, warmup=warmup, measure=measure,
+            continue_on_error=continue_on_error, faults=faults,
+            iteration_budget=iteration_budget, max_retries=max_retries,
+            repeat=repeat, quarantine=quarantine, plugins=plugins,
+            sanitize=sanitize)
     if isinstance(suite, str):
         from repro.suites.registry import benchmarks_of
         benches = benchmarks_of(suite)

@@ -20,9 +20,11 @@ from repro.harness.core import (
 )
 from repro.harness.plugins import FaultLogPlugin, HarnessPlugin
 from repro.harness.jmh import JmhResult, run_jmh
+from repro.harness.parallel import run_suite_parallel
 
 __all__ = [
     "GuestBenchmark", "IterationResult", "Runner", "RunResult",
     "ValidationError", "config_name",
     "HarnessPlugin", "FaultLogPlugin", "JmhResult", "run_jmh",
+    "run_suite_parallel",
 ]

@@ -1,0 +1,67 @@
+"""Command-line suite sweeps: ``python -m repro.harness``.
+
+Runs one registered suite through the resilient harness and prints a
+per-benchmark summary plus the suite roll-up.  ``--jobs N`` shards the
+sweep across N worker processes (byte-identical results, see
+:mod:`repro.harness.parallel`).
+
+Options::
+
+    python -m repro.harness                          # renaissance, serial
+    python -m repro.harness --suite dacapo --jobs 4  # sharded sweep
+    python -m repro.harness --jit none --warmup 1 --measure 1
+    python -m repro.harness --sanitize               # checked mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Run a benchmark suite through the resilient harness")
+    parser.add_argument("--suite", default="renaissance",
+                        help="registered suite name (default: renaissance)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial, the default)")
+    parser.add_argument("--jit", default="graal",
+                        help='"graal", "c2" or "none" (interpreter only)')
+    parser.add_argument("--cores", type=int, default=8,
+                        help="simulated cores per VM")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="schedule seed (same seed for every shard)")
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--measure", type=int, default=None)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="whole-suite sweep repetitions")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="checked mode: happens-before race sanitizer")
+    args = parser.parse_args(argv)
+
+    from repro.faults.resilience import run_suite
+
+    jit = None if args.jit in ("none", "None") else args.jit
+    started = time.perf_counter()
+    suite = run_suite(
+        args.suite, jobs=args.jobs, jit=jit, cores=args.cores,
+        schedule_seed=args.seed, warmup=args.warmup, measure=args.measure,
+        repeat=args.repeat, sanitize=True if args.sanitize else None)
+    host_seconds = time.perf_counter() - started
+
+    for result in suite.results:
+        print(f"  {result.benchmark:24s} mean_wall={result.mean_wall:>12.0f} "
+              f"cycles  host={result.host_seconds:.3f}s")
+    for report in suite.race_reports:
+        if not report.clean:
+            print(f"  race: {report.format()}")
+    print(suite.format())
+    print(f"host wall time: {host_seconds:.2f}s (jobs={args.jobs})")
+    return 1 if suite.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ simulated cycles).
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -49,13 +50,16 @@ class GuestBenchmark:
 # sized comfortably above the suite corpus, with an explicit clear knob.
 _COMPILE_CACHE: OrderedDict[str, object] = OrderedDict()
 _COMPILE_CACHE_MAX = 1024
+_COMPILE_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 def _compiled(source: str):
     program = _COMPILE_CACHE.get(source)
     if program is not None:
+        _COMPILE_CACHE_STATS["hits"] += 1
         _COMPILE_CACHE.move_to_end(source)
         return program
+    _COMPILE_CACHE_STATS["misses"] += 1
     program = compile_program(source)
     _COMPILE_CACHE[source] = program
     while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
@@ -64,20 +68,38 @@ def _compiled(source: str):
 
 
 def compile_cache_info() -> dict:
-    """Size/bound of the shared compiled-program cache (for tests)."""
-    return {"size": len(_COMPILE_CACHE), "maxsize": _COMPILE_CACHE_MAX}
+    """Size and hit-rate of the shared compiled-program cache.
+
+    Only source→Program compiles are counted here; the per-VM
+    threaded-code translation cache (whose quickened bodies can be
+    invalidated and re-translated) reports its own hit-rate via
+    ``vm.interpreter.cache_info()``.
+    """
+    hits = _COMPILE_CACHE_STATS["hits"]
+    misses = _COMPILE_CACHE_STATS["misses"]
+    total = hits + misses
+    return {
+        "size": len(_COMPILE_CACHE),
+        "maxsize": _COMPILE_CACHE_MAX,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / total if total else 0.0,
+    }
 
 
 def clear_compile_cache() -> None:
     _COMPILE_CACHE.clear()
+    _COMPILE_CACHE_STATS["hits"] = 0
+    _COMPILE_CACHE_STATS["misses"] = 0
 
 
 @dataclass
 class IterationResult:
-    wall: int
+    wall: int                 # simulated cycles
     work: int
     cpu: float
     result: object
+    host_seconds: float = 0.0  # host wall-clock of this iteration
 
 
 @dataclass
@@ -98,6 +120,11 @@ class RunResult:
     @property
     def walls(self) -> list[int]:
         return [it.wall for it in self.iterations]
+
+    @property
+    def host_seconds(self) -> float:
+        """Total host wall-clock across the measured iterations."""
+        return sum(it.host_seconds for it in self.iterations)
 
 
 class ValidationError(ReproError):
@@ -207,6 +234,7 @@ class Runner:
         for plugin in self.plugins:
             plugin.before_iteration(vm, bench, index, warmup)
         before = vm.timing_snapshot()
+        host_started = time.perf_counter()
         if self.iteration_budget is not None:
             vm.scheduler.watchdog_cycles = (
                 vm.scheduler.clock + self.iteration_budget)
@@ -229,6 +257,7 @@ class Runner:
                 iteration=index, warmup=warmup)
         if result is not None:
             result.iterations.append(IterationResult(
-                stats["wall"], stats["work"], stats["cpu"], value))
+                stats["wall"], stats["work"], stats["cpu"], value,
+                host_seconds=time.perf_counter() - host_started))
         for plugin in self.plugins:
             plugin.after_iteration(vm, bench, index, warmup, stats)

@@ -1,0 +1,188 @@
+"""Sharded parallel suite execution.
+
+:func:`run_suite_parallel` partitions a suite sweep across N worker
+processes and merges the shards back into one
+:class:`~repro.faults.resilience.SuiteResult` that is indistinguishable
+from a serial :func:`~repro.faults.resilience.run_suite` run.
+
+Why this is sound: every per-benchmark outcome is a pure function of
+``(benchmark, config kwargs, schedule_seed)`` — each
+:class:`~repro.harness.core.Runner` builds a *fresh* VM, and the VM's
+scheduler/fault/sanitizer randomness is fully seeded.  Benchmarks never
+share guest state, and the quarantine only links *rounds of the same
+benchmark* (a failure quarantines later repeats of that name, nothing
+else).  So a shard worker owning benchmark ``b`` can compute all of
+``b``'s rounds exactly as the serial sweep would, and the parent only
+has to stitch the per-``(round, benchmark)`` records back together in
+serial iteration order — round-major, registry order within a round.
+Counters and race reports ride inside the records, so the merged lists
+are byte-identical to a serial sweep's.
+
+Workers are plain ``multiprocessing`` processes (fork server where
+available): each builds its own VMs and compile cache.  ``jobs=1`` (or
+``None``) falls back to the serial path — same code the tests diff
+against.  Host-side plugins hold unmergeable in-process state, so a
+non-empty ``plugins`` tuple also forces the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.errors import ReproError
+from repro.harness.core import config_name
+
+#: Matches ``repro.faults.resilience.DEFAULT_ITERATION_BUDGET``
+#: (imported lazily there — resilience itself imports the harness).
+_BUDGET_DEFAULT = object()
+
+
+def _forkable(sanitize) -> bool:
+    """A prepared sanitizer plugin holds shared in-process state; only
+    declarative specs (``True`` / a SanitizerConfig) shard cleanly."""
+    if sanitize is None or sanitize is True or sanitize is False:
+        return True
+    from repro.sanitize.hb import SanitizerConfig
+    return isinstance(sanitize, SanitizerConfig)
+
+
+def _resolve(suite):
+    """Suite name or iterable of benchmarks -> (benchmarks, name)."""
+    if isinstance(suite, str):
+        from repro.suites.registry import benchmarks_of
+        return benchmarks_of(suite), suite
+    benches = tuple(suite)
+    return benches, (benches[0].suite if benches else "custom")
+
+
+def _shard_worker(payload):
+    """Run one shard: every round of every owned benchmark.
+
+    Returns ``(index, round, kind, *data)`` records where ``index`` is
+    the benchmark's position in the full (registry-ordered) sweep —
+    enough for the parent to reconstruct serial iteration order.
+    ``kind`` is ``"result"`` (RunResult + optional RaceReport),
+    ``"failure"`` (FailureReport) or ``"skip"`` (quarantined round).
+    """
+    from repro.faults.resilience import ResilientRunner
+
+    (indexed_benches, plans, kwargs, repeat, quarantined) = payload
+    records = []
+    quarantined = set(quarantined)
+    for index, bench in indexed_benches:
+        for rnd in range(repeat):
+            if bench.name in quarantined:
+                records.append((index, rnd, "skip", bench.name))
+                continue
+            runner = ResilientRunner(
+                bench, jit=kwargs["jit"], cores=kwargs["cores"],
+                schedule_seed=kwargs["schedule_seed"],
+                faults=plans[bench.name],
+                iteration_budget=kwargs["iteration_budget"],
+                max_retries=kwargs["max_retries"],
+                sanitize=kwargs["sanitize"])
+            outcome = runner.run(warmup=kwargs["warmup"],
+                                 measure=kwargs["measure"])
+            if outcome.ok:
+                result = outcome.result
+                result.vm = None    # VMs don't pickle (and don't merge)
+                records.append(
+                    (index, rnd, "result", result, outcome.race_report))
+            else:
+                records.append((index, rnd, "failure", outcome.failure))
+                quarantined.add(bench.name)
+    return records
+
+
+def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
+                       jit="graal", cores: int = 8, schedule_seed: int = 0,
+                       warmup: int | None = None, measure: int | None = None,
+                       continue_on_error: bool = True, faults=None,
+                       iteration_budget=_BUDGET_DEFAULT,
+                       max_retries: int = 2, repeat: int = 1,
+                       quarantine=None,
+                       plugins: tuple = (), sanitize=None):
+    """:func:`~repro.faults.resilience.run_suite` across worker processes.
+
+    ``jobs`` is the worker-process count (``None``/``1`` = serial,
+    in-process).  All other arguments match :func:`run_suite`; every
+    worker seeds its VMs with the same ``schedule_seed`` the serial
+    sweep would use, so the merged result is byte-identical (the
+    equivalence is asserted by ``tests/test_parallel.py``).
+    """
+    from repro.faults.resilience import (
+        DEFAULT_ITERATION_BUDGET,
+        Quarantine,
+        SuiteResult,
+        run_suite,
+    )
+
+    if iteration_budget is _BUDGET_DEFAULT:
+        iteration_budget = DEFAULT_ITERATION_BUDGET
+    serial_kwargs = dict(
+        jit=jit, cores=cores, schedule_seed=schedule_seed, warmup=warmup,
+        measure=measure, continue_on_error=continue_on_error, faults=faults,
+        iteration_budget=iteration_budget, max_retries=max_retries,
+        repeat=repeat, quarantine=quarantine, plugins=plugins,
+        sanitize=sanitize)
+    if jobs is None or jobs <= 1 or plugins or not _forkable(sanitize):
+        return run_suite(suite, **serial_kwargs)
+
+    benches, suite_name = _resolve(suite)
+    from repro.faults.plan import FaultPlan
+    if isinstance(faults, FaultPlan) or faults is None:
+        plans = {b.name: faults for b in benches}
+    else:
+        plans = {b.name: faults.get(b.name) for b in benches}
+
+    out = SuiteResult(
+        suite_name, config_name(None if sanitize else jit),
+        quarantine=quarantine if quarantine is not None else Quarantine())
+    if not benches:
+        return out
+
+    pre_quarantined = tuple(
+        b.name for b in benches if b.name in out.quarantine)
+    kwargs = dict(jit=jit, cores=cores, schedule_seed=schedule_seed,
+                  warmup=warmup, measure=measure,
+                  iteration_budget=iteration_budget,
+                  max_retries=max_retries, sanitize=sanitize)
+    jobs = min(jobs, len(benches))
+    shards = [
+        ([(i, b) for i, b in enumerate(benches) if i % jobs == shard],
+         plans, kwargs, repeat, pre_quarantined)
+        for shard in range(jobs)
+    ]
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:                              # pragma: no cover
+        ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=jobs) as pool:
+        shard_records = pool.map(_shard_worker, shards)
+
+    # Stitch shards back into serial iteration order: round-major,
+    # registry order within each round — the exact order the serial
+    # sweep appends to its result lists.
+    records = [r for shard in shard_records for r in shard]
+    records.sort(key=lambda r: (r[1], r[0]))
+    first_error = None
+    for record in records:
+        kind = record[2]
+        if kind == "result":
+            out.results.append(record[3])
+            if record[4] is not None:
+                out.race_reports.append(record[4])
+        elif kind == "failure":
+            report = record[3]
+            out.failures.append(report)
+            out.quarantine.add(report)
+            if first_error is None:
+                first_error = report
+        else:
+            out.skipped.append(record[3])
+    if first_error is not None and not continue_on_error:
+        raise ReproError(
+            f"suite {suite_name} aborted on "
+            f"{first_error.benchmark}: {first_error.message}")
+    return out

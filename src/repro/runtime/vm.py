@@ -58,6 +58,7 @@ class VM:
         quantum: int = 5000,
         schedule_seed: int = 0,
         jit: object = "graal",
+        engine: str = "threaded",
         faults: object = None,
         sanitize: object = None,
     ) -> None:
@@ -67,7 +68,19 @@ class VM:
         self.cache = CacheModel(cores, self.counters)
         self.scheduler = Scheduler(cores=cores, quantum=quantum, seed=schedule_seed)
         self.scheduler.executor = self._execute_slice
-        self.interpreter = Interpreter(self)
+        # Tier-0 execution engine.  "threaded" (default) is the
+        # threaded-code engine (repro.jvm.threaded); "reference" is the
+        # original elif dispatcher, kept as the equivalence oracle.
+        # Both produce byte-identical counters and schedules.
+        if engine == "threaded":
+            from repro.jvm.threaded import ThreadedInterpreter
+
+            self.interpreter = ThreadedInterpreter(self)
+        elif engine == "reference":
+            self.interpreter = Interpreter(self)
+        else:
+            raise VMError(f"bad engine spec {engine!r}")
+        self.engine = engine
         self.stdout: list[str] = []
         self._loaded_marks: set[str] = set()
         self._class_cache: dict[str, JClass] = {}

@@ -106,6 +106,11 @@ class RaceSanitizer:
         vm.jit = None
         vm.machine = None
         self.counters = vm.counters
+        # The threaded engine binds the sanitizer into handler closures
+        # at translation time — drop stale sanitizer-free translations.
+        on_attached = getattr(vm.interpreter, "on_sanitizer_attached", None)
+        if on_attached is not None:
+            on_attached()
 
     # ------------------------------------------------------------------
     # Clock helpers.

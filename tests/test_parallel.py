@@ -1,0 +1,122 @@
+"""Sharded suite execution must be indistinguishable from serial.
+
+``run_suite(..., jobs=N)`` partitions the sweep across worker
+processes; every per-benchmark outcome is a pure function of
+``(benchmark, config, schedule_seed)``, so the merged SuiteResult —
+results, per-run counters, iteration data, race reports, failures,
+quarantine skips, and their ordering — must match the serial sweep
+exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults.resilience import Quarantine, run_suite
+from repro.harness.core import GuestBenchmark
+from repro.suites.registry import get_benchmark
+from tests.fixtures import GUARDED_BENCHMARK, RACE_BENCHMARK
+
+#: A small mixed workload: registry benchmarks + fixtures.
+SLICE = ("scrabble", "philosophers", "fj-kmeans", "streams-mnemonics")
+
+FAILING_BENCHMARK = GuestBenchmark(
+    name="fixture-fails",
+    suite="fixtures",
+    source="""
+class Bench {
+    static def run() { return 1; }
+}
+""",
+    entry="Bench.run",
+    expected=2,          # always wrong -> ValidationError every round
+    warmup=0,
+    measure=1,
+)
+
+
+def workload():
+    return [get_benchmark(n) for n in SLICE] + [GUARDED_BENCHMARK]
+
+
+def run_key(result):
+    """Everything deterministic about a RunResult (host timing varies)."""
+    return (
+        result.benchmark,
+        result.config,
+        tuple(sorted(result.counters.items())),
+        result.cpu,
+        tuple((it.wall, it.work, it.cpu, it.result)
+              for it in result.iterations),
+    )
+
+
+def suite_key(suite):
+    return {
+        "suite": suite.suite,
+        "config": suite.config,
+        "results": [run_key(r) for r in suite.results],
+        "failures": [(f.benchmark, f.error_type, f.message, f.phase)
+                     for f in suite.failures],
+        "skipped": list(suite.skipped),
+        "races": [r.to_json() for r in suite.race_reports],
+    }
+
+
+def test_jobs_match_serial():
+    serial = run_suite(workload(), warmup=1, measure=1)
+    sharded = run_suite(workload(), jobs=4, warmup=1, measure=1)
+    assert suite_key(serial) == suite_key(sharded)
+    assert sharded.completed == len(workload())
+    # Workers strip the unpicklable VM; everything else survives.
+    assert all(r.vm is None for r in sharded.results)
+
+
+def test_jobs_one_is_serial_fallback():
+    serial = run_suite(workload()[:2], warmup=0, measure=1)
+    one_job = run_suite(workload()[:2], jobs=1, warmup=0, measure=1)
+    assert suite_key(serial) == suite_key(one_job)
+    # The serial path keeps its VMs (no pickling happened).
+    assert all(r.vm is not None for r in one_job.results)
+
+
+def test_failures_and_quarantine_merge_in_serial_order():
+    benches = [GUARDED_BENCHMARK, FAILING_BENCHMARK,
+               get_benchmark("scrabble")]
+    serial = run_suite(benches, warmup=0, measure=1, repeat=2)
+    sharded = run_suite(benches, jobs=3, warmup=0, measure=1, repeat=2)
+    assert suite_key(serial) == suite_key(sharded)
+    # Round 1 fails the benchmark and quarantines it; round 2 skips it.
+    assert [f.benchmark for f in sharded.failures] == ["fixture-fails"]
+    assert sharded.skipped == ["fixture-fails"]
+    assert "fixture-fails" in sharded.quarantine
+
+
+def test_prepopulated_quarantine_respected():
+    benches = [GUARDED_BENCHMARK, FAILING_BENCHMARK]
+    quarantine = Quarantine()
+    first = run_suite(benches, jobs=2, warmup=0, measure=1,
+                      quarantine=quarantine)
+    assert len(first.failures) == 1
+    # The same (shared) quarantine now skips the sick benchmark.
+    second = run_suite(benches, jobs=2, warmup=0, measure=1,
+                       quarantine=quarantine)
+    assert second.failures == []
+    assert second.skipped == ["fixture-fails"]
+
+
+def test_continue_on_error_false_raises():
+    benches = [FAILING_BENCHMARK, GUARDED_BENCHMARK]
+    with pytest.raises(ReproError, match="fixture-fails"):
+        run_suite(benches, jobs=2, warmup=0, measure=1,
+                  continue_on_error=False)
+
+
+def test_sanitized_sweep_matches_serial():
+    benches = [RACE_BENCHMARK, GUARDED_BENCHMARK]
+    serial = run_suite(benches, sanitize=True)
+    sharded = run_suite(benches, jobs=2, sanitize=True)
+    assert suite_key(serial) == suite_key(sharded)
+    assert len(sharded.race_reports) == 2
+    assert [r.benchmark for r in sharded.racy] == [RACE_BENCHMARK.name]
