@@ -21,9 +21,19 @@ bench:
 	python benchmarks/selfbench.py
 
 # Tier-2: fail if threaded-engine ops/sec regressed >10% against the
-# committed BENCH_interpreter.json baseline.  Never gates tier-1 (host
-# timing is machine-dependent).
+# committed BENCH_interpreter.json baseline, or if the flight recorder
+# blew its overhead budget (disabled ≤2%, enabled ≤15%).  Never gates
+# tier-1 (host timing is machine-dependent).
 bench-check:
 	python benchmarks/selfbench.py --check
 
-.PHONY: test chaos sanitize bench bench-check
+# Tier-2: flight-record a contended benchmark end-to-end and
+# schema-validate the exported Chrome trace (the CLI validates before
+# writing; a nonzero exit means the export is broken).
+trace:
+	rm -rf .trace-out
+	PYTHONPATH=src python -m repro.trace renaissance:philosophers \
+		--out .trace-out --warmup 1 --measure 1
+	@ls -l .trace-out
+
+.PHONY: test chaos sanitize bench bench-check trace

@@ -7,6 +7,12 @@ ops/sec (executed bytecodes per host second) and wall time per suite
 slice.  The committed baseline lets ``make bench-check`` flag host-side
 performance regressions >10% without any external tooling.
 
+It also measures the flight recorder's overhead budget (repro.trace):
+the same slice runs untraced, with a recorder attached but every
+category disabled, and fully enabled.  ``--check`` gates the aggregate
+overheads at ≤2% (disabled — each hook site must stay a single None/flag
+check) and ≤15% (enabled).
+
 The slice is small but representative: the quick subset used by the
 figure benchmarks (string-heavy, lock-heavy, data-parallel, compiler
 workloads), interpreted only (``jit=None``) so the measurement isolates
@@ -50,12 +56,12 @@ def _resolve_workloads():
     return benches
 
 
-def time_engine(bench, engine: str, reps: int = REPS):
+def time_engine(bench, engine: str, reps: int = REPS, trace=None):
     """(ops/sec, wall seconds, executed instructions) — best of reps."""
     best = float("inf")
     instructions = 0
     for _ in range(reps):
-        vm = VM(jit=None, engine=engine, schedule_seed=0)
+        vm = VM(jit=None, engine=engine, schedule_seed=0, trace=trace)
         vm.load(bench.compile())
         started = time.perf_counter()
         vm.invoke(bench.entry, list(bench.args))
@@ -64,6 +70,38 @@ def time_engine(bench, engine: str, reps: int = REPS):
             best = elapsed
         instructions = vm.counters.instructions
     return instructions / best, best, instructions
+
+
+def trace_overhead() -> dict:
+    """Aggregate slowdown of the flight recorder over the slice.
+
+    ``disabled`` attaches a recorder with every category off and the
+    sampler off — the cost of the hook sites alone.  ``enabled`` is the
+    full default recording (all categories + sampler).
+    """
+    from repro.trace import TraceConfig
+
+    disabled_cfg = TraceConfig(categories=(), alloc_sample_rate=0,
+                               sample_interval=0)
+    walls = {"baseline": 0.0, "disabled": 0.0, "enabled": 0.0}
+    for bench in _resolve_workloads():
+        _, wall, _ = time_engine(bench, "threaded")
+        walls["baseline"] += wall
+        _, wall, _ = time_engine(bench, "threaded", trace=disabled_cfg)
+        walls["disabled"] += wall
+        _, wall, _ = time_engine(bench, "threaded", trace=True)
+        walls["enabled"] += wall
+    base = walls["baseline"]
+    out = {
+        "wall_seconds": {k: round(v, 6) for k, v in walls.items()},
+        "disabled_overhead": round(walls["disabled"] / base - 1.0, 4)
+        if base else 0.0,
+        "enabled_overhead": round(walls["enabled"] / base - 1.0, 4)
+        if base else 0.0,
+    }
+    print(f"trace overhead: disabled {out['disabled_overhead'] * 100:+.1f}%"
+          f"   enabled {out['enabled_overhead'] * 100:+.1f}%")
+    return out
 
 
 def run(out_path: Path) -> dict:
@@ -92,6 +130,7 @@ def run(out_path: Path) -> dict:
 
     doc = {
         "schema": "selfbench/1",
+        "trace_overhead": trace_overhead(),
         "workloads": per_bench,
         "suite": {
             "instructions": total_instructions,
@@ -118,16 +157,35 @@ def run(out_path: Path) -> dict:
     return doc
 
 
+#: Flight-recorder overhead ceilings gated by ``--check`` (aggregate
+#: over the slice; best-of-reps damps one-sided host noise).
+TRACE_DISABLED_CEILING = 0.02
+TRACE_ENABLED_CEILING = 0.15
+
+
 def check(current: dict, baseline_path: Path,
           tolerance: float = 0.10) -> int:
     """Fail (1) if threaded ops/sec regressed >``tolerance`` vs baseline.
 
     Compared on the suite aggregate: per-benchmark host noise on shared
-    CI machines is too high to gate on, the aggregate is stable.
+    CI machines is too high to gate on, the aggregate is stable.  Also
+    gates the flight recorder's overhead budget (absolute, from the
+    fresh run): disabled ≤2%, fully enabled ≤15%.
     """
+    failed = 0
+    overhead = current.get("trace_overhead")
+    if overhead is not None:
+        for key, ceiling in (("disabled", TRACE_DISABLED_CEILING),
+                             ("enabled", TRACE_ENABLED_CEILING)):
+            value = overhead[f"{key}_overhead"]
+            verdict = "ok" if value <= ceiling else "REGRESSION"
+            print(f"bench-check: trace {key} overhead {value * 100:+.1f}% "
+                  f"(ceiling {ceiling * 100:.0f}%): {verdict}")
+            if value > ceiling:
+                failed = 1
     if not baseline_path.exists():
         print(f"no committed baseline at {baseline_path}; skipping check")
-        return 0
+        return failed
     baseline = json.loads(baseline_path.read_text())
     base_ops = baseline["suite"]["threaded"]["ops_per_sec"]
     cur_ops = current["suite"]["threaded"]["ops_per_sec"]
@@ -136,7 +194,7 @@ def check(current: dict, baseline_path: Path,
     print(f"bench-check: current {cur_ops / 1e6:.2f}M ops/s vs baseline "
           f"{base_ops / 1e6:.2f}M ops/s (floor {floor / 1e6:.2f}M): "
           f"{verdict}")
-    return 0 if cur_ops >= floor else 1
+    return failed or (0 if cur_ops >= floor else 1)
 
 
 def main(argv=None) -> int:

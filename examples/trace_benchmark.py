@@ -1,0 +1,59 @@
+"""Flight-record a benchmark and export timeline + flamegraph artifacts.
+
+Attaches the flight recorder (repro.trace) through the harness plugin
+interface, runs one benchmark, prints the hottest methods and the
+most-contended monitors from the recording's summary digest, and writes
+the artifact triple:
+
+- ``<bench>.trace.json``    — Chrome ``trace_event`` timeline; open it
+  in ``chrome://tracing`` or https://ui.perfetto.dev
+- ``<bench>.collapsed.txt`` — collapsed stacks for ``flamegraph.pl``
+  or https://speedscope.app
+- ``<bench>.summary.json``  — top methods, hot monitors, event counts
+
+Run:  python examples/trace_benchmark.py [benchmark-name] [outdir]
+"""
+
+import sys
+
+from repro.harness import Runner
+from repro.suites.registry import get_benchmark
+from repro.trace import TracePlugin, write_recording
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "philosophers"
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "trace-out"
+    bench = get_benchmark(name)
+    print(f"recording {bench.name} ({bench.suite}): {bench.description}")
+
+    plugin = TracePlugin()
+    result = Runner(bench, jit="graal",
+                    plugins=(plugin,)).run(warmup=1, measure=1)
+
+    recording = plugin.last
+    digest = result.trace
+    print(f"\n{recording['emitted']:,} events recorded "
+          f"({recording['dropped']:,} dropped), "
+          f"{digest['samples']['samples']:,} stack samples\n")
+
+    print("hot methods (self samples):")
+    for row in digest["top_methods"][:8]:
+        print(f"  {row['method']:40s} self {row['self']:>6,} "
+              f"total {row['total']:>6,}")
+
+    if digest["hot_monitors"]:
+        print("\ncontended monitors (cycles blocked):")
+        for mon in digest["hot_monitors"][:5]:
+            print(f"  {mon['monitor']:40s} "
+                  f"blocked {mon['blocked_cycles']:>10,} cycles "
+                  f"({mon['contended']} contentions, {mon['waits']} waits)")
+
+    paths = write_recording(outdir, recording)
+    print(f"\ntimeline:   {paths['trace']}")
+    print(f"flamegraph: {paths['collapsed']}")
+    print(f"summary:    {paths['summary']}")
+
+
+if __name__ == "__main__":
+    main()

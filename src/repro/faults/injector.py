@@ -65,6 +65,10 @@ class FaultInjector:
         clock = self._vm.scheduler.clock if self._vm is not None else 0
         event = FaultEvent(kind, site, occurrence, clock, thread, detail)
         self.trace.append(event)
+        if self._vm is not None:
+            tr = self._vm.trace
+            if tr is not None and tr.fault_on:
+                tr.emit("fault", kind, 0, (site, occurrence, thread, detail))
         return event
 
     # ------------------------------------------------------------------

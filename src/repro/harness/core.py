@@ -110,6 +110,7 @@ class RunResult:
     counters: dict = field(default_factory=dict)   # steady-state deltas
     cpu: float = 0.0
     vm: object = None
+    trace: object = None      # summary dict set by repro.trace.TracePlugin
 
     @property
     def mean_wall(self) -> float:

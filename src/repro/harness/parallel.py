@@ -21,8 +21,13 @@ are byte-identical to a serial sweep's.
 Workers are plain ``multiprocessing`` processes (fork server where
 available): each builds its own VMs and compile cache.  ``jobs=1`` (or
 ``None``) falls back to the serial path — same code the tests diff
-against.  Host-side plugins hold unmergeable in-process state, so a
-non-empty ``plugins`` tuple also forces the serial path.
+against.  Plugins that implement the
+:class:`~repro.harness.plugins.MergeablePlugin` protocol shard cleanly:
+workers run them through the normal hooks, snapshot their per-run state
+after every benchmark run, and the parent replays the payloads into its
+own instances in serial sweep order.  A plain
+:class:`~repro.harness.plugins.HarnessPlugin` holds unmergeable
+in-process state, so its presence still forces the serial path.
 """
 
 from __future__ import annotations
@@ -35,6 +40,12 @@ from repro.harness.core import config_name
 #: Matches ``repro.faults.resilience.DEFAULT_ITERATION_BUDGET``
 #: (imported lazily there — resilience itself imports the harness).
 _BUDGET_DEFAULT = object()
+
+
+def _plugins_mergeable(plugins) -> bool:
+    """True when every plugin speaks the MergeablePlugin protocol."""
+    from repro.harness.plugins import MergeablePlugin
+    return all(isinstance(p, MergeablePlugin) for p in plugins)
 
 
 def _forkable(sanitize) -> bool:
@@ -61,12 +72,13 @@ def _shard_worker(payload):
     Returns ``(index, round, kind, *data)`` records where ``index`` is
     the benchmark's position in the full (registry-ordered) sweep —
     enough for the parent to reconstruct serial iteration order.
-    ``kind`` is ``"result"`` (RunResult + optional RaceReport),
-    ``"failure"`` (FailureReport) or ``"skip"`` (quarantined round).
+    ``kind`` is ``"result"`` (RunResult + optional RaceReport + plugin
+    payloads), ``"failure"`` (FailureReport + plugin payloads) or
+    ``"skip"`` (quarantined round).
     """
     from repro.faults.resilience import ResilientRunner
 
-    (indexed_benches, plans, kwargs, repeat, quarantined) = payload
+    (indexed_benches, plans, kwargs, repeat, quarantined, plugins) = payload
     records = []
     quarantined = set(quarantined)
     for index, bench in indexed_benches:
@@ -77,19 +89,22 @@ def _shard_worker(payload):
             runner = ResilientRunner(
                 bench, jit=kwargs["jit"], cores=kwargs["cores"],
                 schedule_seed=kwargs["schedule_seed"],
-                faults=plans[bench.name],
+                plugins=plugins, faults=plans[bench.name],
                 iteration_budget=kwargs["iteration_budget"],
                 max_retries=kwargs["max_retries"],
                 sanitize=kwargs["sanitize"])
             outcome = runner.run(warmup=kwargs["warmup"],
                                  measure=kwargs["measure"])
+            payloads = tuple(p.snapshot_run() for p in plugins)
             if outcome.ok:
                 result = outcome.result
                 result.vm = None    # VMs don't pickle (and don't merge)
                 records.append(
-                    (index, rnd, "result", result, outcome.race_report))
+                    (index, rnd, "result", result, outcome.race_report,
+                     payloads))
             else:
-                records.append((index, rnd, "failure", outcome.failure))
+                records.append(
+                    (index, rnd, "failure", outcome.failure, payloads))
                 quarantined.add(bench.name)
     return records
 
@@ -125,7 +140,8 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
         iteration_budget=iteration_budget, max_retries=max_retries,
         repeat=repeat, quarantine=quarantine, plugins=plugins,
         sanitize=sanitize)
-    if jobs is None or jobs <= 1 or plugins or not _forkable(sanitize):
+    if jobs is None or jobs <= 1 or not _forkable(sanitize) \
+            or (plugins and not _plugins_mergeable(plugins)):
         return run_suite(suite, **serial_kwargs)
 
     benches, suite_name = _resolve(suite)
@@ -147,10 +163,11 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
                   warmup=warmup, measure=measure,
                   iteration_budget=iteration_budget,
                   max_retries=max_retries, sanitize=sanitize)
+    plugins = tuple(plugins)
     jobs = min(jobs, len(benches))
     shards = [
         ([(i, b) for i, b in enumerate(benches) if i % jobs == shard],
-         plans, kwargs, repeat, pre_quarantined)
+         plans, kwargs, repeat, pre_quarantined, plugins)
         for shard in range(jobs)
     ]
 
@@ -173,10 +190,14 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
             out.results.append(record[3])
             if record[4] is not None:
                 out.race_reports.append(record[4])
+            for plugin, shard_payload in zip(plugins, record[5]):
+                plugin.absorb_run(shard_payload)
         elif kind == "failure":
             report = record[3]
             out.failures.append(report)
             out.quarantine.add(report)
+            for plugin, shard_payload in zip(plugins, record[4]):
+                plugin.absorb_run(shard_payload)
             if first_error is None:
                 first_error = report
         else:

@@ -36,6 +36,33 @@ class HarnessPlugin:
         """
 
 
+class MergeablePlugin(HarnessPlugin):
+    """A plugin that survives sharded suite execution (``jobs=N``).
+
+    The parallel runner (:mod:`repro.harness.parallel`) pickles plugin
+    instances into each worker, where they observe that shard's runs
+    through the normal hooks.  After every benchmark run the worker
+    calls :meth:`snapshot_run` and ships the payload back; the parent
+    replays the payloads into *its* instance via :meth:`absorb_run` in
+    serial sweep order (round-major, registry order), so the parent
+    plugin ends up byte-identical to a serial sweep's.
+
+    Contract: :meth:`snapshot_run` returns a picklable payload covering
+    exactly the runs since the previous snapshot (and resets that
+    per-run state); :meth:`absorb_run` folds one payload in, and the
+    fold must depend only on payload order — never on which worker
+    produced it.  Plugins that cannot express their state this way stay
+    plain :class:`HarnessPlugin`\\ s and force the serial path.
+    """
+
+    def snapshot_run(self):
+        """Worker side: serializable state of the just-finished run."""
+        return None
+
+    def absorb_run(self, payload) -> None:
+        """Parent side: fold one shard payload in, in serial order."""
+
+
 class FaultLogPlugin(HarnessPlugin):
     """Collects every FailureReport the resilience layer produces."""
 

@@ -35,6 +35,9 @@ def deoptimize(vm, thread, machine_frame, speculation_id, meta_index) -> None:
     method.invocation_count = 0
     if vm.jit is not None:
         vm.jit.on_deopt(method)
+    tr = vm.trace
+    if tr is not None and tr.jit_on:
+        tr.emit("jit", "deopt", thread.tid, (method.qualified,))
 
     if meta_index is None:
         raise VMError(

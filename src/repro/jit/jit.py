@@ -95,8 +95,10 @@ class JitCompiler:
             method.invocation_count = 0
             self.failed[method.qualified] = str(exc)
             self.stats.failures += 1
+            self._emit_compile(method, ok=False)
             return False
         method.compiled = code
+        self._emit_compile(method, ok=True)
         self.stats.compilations += 1
         if all(c.method is not method for c in self.compiled_methods):
             self.compiled_methods.append(code)
@@ -105,6 +107,14 @@ class JitCompiler:
                                      if c.method is not method]
             self.compiled_methods.append(code)
         return True
+
+    def _emit_compile(self, method, ok: bool) -> None:
+        tr = self.vm.trace
+        if tr is not None and tr.jit_on:
+            current = self.vm.scheduler.current
+            tid = current.tid if current is not None else 0
+            tr.emit("jit", "compile", tid,
+                    (method.qualified, 1 if ok else 0))
 
     # ------------------------------------------------------------------
     # Figure 7 metrics.

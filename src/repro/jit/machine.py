@@ -74,6 +74,8 @@ class Machine:
         cache = vm.cache
         sched = vm.scheduler
         heap = vm.heap
+        tr = vm.trace
+        trace_cas = tr if (tr is not None and tr.cas_on) else None
         instrs = frame.code.instrs
         regs = frame.regs
         core = thread.core
@@ -341,6 +343,9 @@ class Machine:
                     regs[instr[2]] = 1
                 else:
                     counters.cas_failures += 1
+                    if trace_cas is not None:
+                        trace_cas.emit("cas", "fail", thread.tid,
+                                       (instr[4],))
                     regs[instr[2]] = 0
             elif kind == "atomicget":
                 obj = regs[instr[3]]

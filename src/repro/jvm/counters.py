@@ -56,6 +56,13 @@ class Counters:
     lock_acquires: int = 0      # monitor acquisitions observed
     lockset_entries: int = 0    # sum of held-lock counts at acquisition
 
+    # Flight-recorder counters (repro.trace): zero unless a recorder is
+    # attached.  "dropped" counts ring-buffer evictions (events emitted
+    # past capacity), "samples" counts per-thread profiler stack walks.
+    trace_events: int = 0
+    trace_dropped: int = 0
+    trace_samples: int = 0
+
     # Per-guard-type execution counts for the Section 5.5 table.
     guard_kinds: dict = field(default_factory=dict)
 
@@ -75,7 +82,8 @@ class Counters:
                 "monitor_contended", "guards_executed", "deopts",
                 "allocated_words", "race_checks", "races_found",
                 "vc_promotions", "hb_edges", "lock_acquires",
-                "lockset_entries",
+                "lockset_entries", "trace_events", "trace_dropped",
+                "trace_samples",
             )
         }
         snap["guard_kinds"] = dict(self.guard_kinds)

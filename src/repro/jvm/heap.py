@@ -122,6 +122,10 @@ class Heap:
         #: Optional fault-injection hook called with the requested words
         #: before every allocation (see repro.faults.FaultInjector).
         self.fault_hook = None
+        #: Optional flight recorder (repro.trace); set only when its
+        #: ``alloc`` category is enabled, so the untraced allocation
+        #: fast path pays a single None check.
+        self.trace = None
 
     def _check_pressure(self, words: int) -> None:
         if self.fault_hook is not None:
@@ -152,6 +156,8 @@ class Heap:
         obj = JObject(jclass, self._bump(jclass.instance_words))
         self.counters.object += 1
         self.counters.allocated_words += jclass.instance_words
+        if self.trace is not None:
+            self.trace.on_alloc("object", jclass.name, jclass.instance_words)
         return obj
 
     def new_array(self, kind: str, length: int) -> JArray:
@@ -160,6 +166,8 @@ class Heap:
         arr = JArray(kind, length, self._bump(max(length, 1)))
         self.counters.array += 1
         self.counters.allocated_words += max(length, 1)
+        if self.trace is not None:
+            self.trace.on_alloc("array", kind, max(length, 1))
         return arr
 
     def words_allocated(self) -> int:

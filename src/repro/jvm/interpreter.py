@@ -97,6 +97,8 @@ class Interpreter:
         costs = BASE_COST
         core = thread.core
         san = vm.sanitizer
+        tr = vm.trace
+        trace_cas = tr if (tr is not None and tr.cas_on) else None
 
         while thread.budget > 0:
             instr = code[frame.pc]
@@ -351,6 +353,9 @@ class Interpreter:
                         san.atomic_field(thread, obj, instr.arg, frame,
                                          rmw=False)
                     counters.cas_failures += 1
+                    if trace_cas is not None:
+                        trace_cas.emit("cas", "fail", thread.tid,
+                                       (instr.arg,))
                     stack.append(0)
             elif op is Op.ATOMIC_GET:
                 obj = stack.pop()

@@ -131,6 +131,12 @@ class Scheduler:
         # every ordering edge — spawn/join/terminate, monitor
         # acquire/release, unpark/park — as it happens.
         self.sanitizer = None
+        # Optional flight recorder (repro.trace): every hook site below
+        # is a single None check when no recorder is attached.
+        self.trace = None
+        # The thread currently executing a slice (None between slices);
+        # lets the recorder attribute heap/JIT events to a guest thread.
+        self.current: JThread | None = None
 
     # ------------------------------------------------------------------
     # Thread lifecycle.
@@ -142,6 +148,10 @@ class Scheduler:
         self.runnable.append(thread)
         if self.sanitizer is not None:
             self.sanitizer.on_spawn(thread, parent)
+        tr = self.trace
+        if tr is not None and tr.thread_on:
+            tr.emit("thread", "spawn", thread.tid,
+                    (thread.name, parent.tid if parent is not None else 0))
         return thread
 
     def kill(self, thread: JThread, reason: str = "killed") -> None:
@@ -152,6 +162,9 @@ class Scheduler:
         """
         if thread.state == TERMINATED:
             return
+        tr = self.trace
+        if tr is not None and tr.thread_on:
+            tr.emit("thread", "kill", thread.tid, (reason,))
         thread.fault = ThreadKilledError(f"{thread.name}: {reason}")
         try:
             self.runnable.remove(thread)
@@ -178,6 +191,9 @@ class Scheduler:
         san = self.sanitizer
         if san is not None:
             san.on_terminate(thread)
+        tr = self.trace
+        if tr is not None and tr.thread_on and thread.state != TERMINATED:
+            tr.emit("thread", "terminate", thread.tid, ())
         thread.state = TERMINATED
         thread.frames.clear()
         for joiner in thread.joiners:
@@ -228,6 +244,10 @@ class Scheduler:
         mon.entry_queue.append((thread, 0))
         thread.state = BLOCKED
         thread.blocked_on = mon
+        tr = self.trace
+        if tr is not None and tr.monitor_on:
+            tr.emit("monitor", "contended", thread.tid,
+                    (mon.tag, mon.owner.tid))
         return False
 
     def monitor_exit(self, thread: JThread, obj) -> None:
@@ -249,6 +269,9 @@ class Scheduler:
             mon.recursion = resume_recursion
             if self.sanitizer is not None:
                 self.sanitizer.on_acquire(next_thread, mon)
+            tr = self.trace
+            if tr is not None and tr.monitor_on:
+                tr.emit("monitor", "acquired", next_thread.tid, (mon.tag,))
             self._make_runnable(next_thread)
         else:
             mon.owner = None
@@ -268,6 +291,9 @@ class Scheduler:
         mon.wait_set.append((thread, saved))
         thread.state = WAITING
         thread.blocked_on = mon
+        tr = self.trace
+        if tr is not None and tr.monitor_on:
+            tr.emit("monitor", "wait", thread.tid, (mon.tag,))
         if self.sanitizer is not None:
             self.sanitizer.on_release(thread, mon)
         self._release(mon)
@@ -282,6 +308,10 @@ class Scheduler:
             waiter.state = BLOCKED
             mon.entry_queue.append((waiter, saved))
             moved += 1
+        tr = self.trace
+        if tr is not None and tr.monitor_on:
+            tr.emit("monitor", "notify", thread.tid,
+                    (mon.tag, moved, 1 if all_waiters else 0))
 
     # ------------------------------------------------------------------
     # Park / unpark.
@@ -294,12 +324,20 @@ class Scheduler:
                 self.sanitizer.on_park(thread)
             return False
         thread.state = PARKED
+        tr = self.trace
+        if tr is not None and tr.park_on:
+            tr.emit("park", "park", thread.tid, ())
         return True
 
     def unpark(self, thread: JThread, source: JThread | None = None) -> None:
         if self.sanitizer is not None:
             self.sanitizer.on_unpark(source, thread,
                                      parked=thread.state == PARKED)
+        tr = self.trace
+        if tr is not None and tr.park_on:
+            tr.emit("park", "unpark",
+                    source.tid if source is not None else 0,
+                    (thread.tid, 1 if thread.state == PARKED else 0))
         if thread.state == PARKED:
             self._make_runnable(thread)
         else:
@@ -357,6 +395,7 @@ class Scheduler:
         max_used = 1
         for core, thread in enumerate(selected):
             thread.core = core
+            self.current = thread
             try:
                 used = self.executor(thread)
             except Exception as exc:
@@ -364,6 +403,7 @@ class Scheduler:
                 # exception); without this the VM would deadlock on the
                 # zombie. Re-queue the other selected threads first.
                 thread.fault = exc
+                self.current = None
                 self.terminate(thread)
                 for other in selected:
                     if other is not thread and other.state == RUNNABLE \
@@ -373,6 +413,7 @@ class Scheduler:
             if used > max_used:
                 max_used = used
             self.busy_core_slices += used
+        self.current = None
         for thread in selected:
             if thread.state == RUNNABLE and thread.frames:
                 self.runnable.append(thread)
@@ -380,6 +421,9 @@ class Scheduler:
                 self.terminate(thread)
         self.clock += max_used
         # busy_core_slices accumulates raw cycles; normalize on read.
+        tr = self.trace
+        if tr is not None:
+            tr.on_slice_end(self)
 
     def _perturb(self) -> None:
         """Deterministically rotate the run queue (seed-dependent)."""

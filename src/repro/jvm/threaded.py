@@ -89,7 +89,7 @@ class _Ctx:
     """Translation-time context bound into handler closures."""
 
     __slots__ = ("vm", "counters", "cachemodel", "sched", "heap", "san",
-                 "handlers", "tc", "engine")
+                 "trace_cas", "handlers", "tc", "engine")
 
     def __init__(self, engine: "ThreadedInterpreter") -> None:
         vm = engine.vm
@@ -99,6 +99,10 @@ class _Ctx:
         self.sched = vm.scheduler
         self.heap = vm.heap
         self.san = vm.sanitizer
+        # Flight recorder, pre-gated on the category the handlers emit
+        # (attaching one invalidates translations, like the sanitizer).
+        tr = vm.trace
+        self.trace_cas = tr if (tr is not None and tr.cas_on) else None
         self.handlers = None    # filled by _translate before factories run
         self.tc = None
         self.engine = engine
@@ -165,6 +169,10 @@ class ThreadedInterpreter:
 
     def on_sanitizer_attached(self) -> None:
         """Handlers bind the sanitizer at translation time; retranslate."""
+        self.invalidate_all()
+
+    def on_trace_attached(self) -> None:
+        """Handlers bind the flight recorder at translation time too."""
         self.invalidate_all()
 
     # ------------------------------------------------------------------
@@ -1169,6 +1177,7 @@ def _f_cas(ctx, method, pc, instr):
     counters = ctx.counters
     cachemodel = ctx.cachemodel
     san = ctx.san
+    trace_cas = ctx.trace_cas
     name = instr.arg
     cost0 = _COST[Op.CAS]
     next_pc = pc + 1
@@ -1194,6 +1203,8 @@ def _f_cas(ctx, method, pc, instr):
             if san is not None:
                 san.atomic_field(thread, obj, name, frame, rmw=False)
             counters.cas_failures += 1
+            if trace_cas is not None:
+                trace_cas.emit("cas", "fail", thread.tid, (name,))
             stack.append(0)
         frame.pc = next_pc
         thread.budget -= cost

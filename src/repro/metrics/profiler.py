@@ -12,13 +12,18 @@ stand-ins for ``top`` and ``perf``.
 from __future__ import annotations
 
 from repro.harness.core import GuestBenchmark, Runner
-from repro.harness.plugins import HarnessPlugin
+from repro.harness.plugins import MergeablePlugin
 
 #: Table 2 metric names, in the paper's order.
 METRIC_NAMES = (
     "synch", "wait", "notify", "atomic", "park",
     "cpu", "cachemiss", "object", "array", "method", "idynamic",
 )
+
+#: Observability counters (repro.trace): flight-recorder events emitted
+#: and dropped plus profiler samples taken during the steady state.
+#: All zero unless a recorder is attached.
+TRACE_METRIC_NAMES = ("trace_events", "trace_dropped", "trace_samples")
 
 #: Sanitizer counters exported from checked runs (repro.sanitize), for
 #: Table-7-style per-benchmark tables.  ``mean_lockset`` is derived:
@@ -29,12 +34,27 @@ SANITIZER_METRIC_NAMES = (
 )
 
 
-class MetricsPlugin(HarnessPlugin):
-    """Harness plugin capturing steady-state Table 2 metrics."""
+class MetricsPlugin(MergeablePlugin):
+    """Harness plugin capturing steady-state Table 2 metrics.
+
+    Over a suite sweep the plugin keeps the metrics of the most recent
+    run in ``raw``/``reference_cycles`` and a ``(benchmark, raw)``
+    history in ``per_run``.  It implements the
+    :class:`~repro.harness.plugins.MergeablePlugin` protocol, so a
+    ``jobs=N`` sharded sweep reassembles the same history a serial
+    sweep would.
+    """
 
     def __init__(self) -> None:
         self.raw: dict | None = None
         self.reference_cycles = 0
+        self.per_run: list[tuple[str, dict]] = []
+        self._steady_snapshot = None
+        self._timing = None
+        self._pending: list[tuple[str, dict, int]] = []
+
+    def before_run(self, vm, benchmark) -> None:
+        # Fresh VM per run: drop snapshots of the previous benchmark.
         self._steady_snapshot = None
         self._timing = None
 
@@ -49,7 +69,23 @@ class MetricsPlugin(HarnessPlugin):
         self.raw = {name: delta.get(name, 0) for name in METRIC_NAMES
                     if name != "cpu"}
         self.raw["cpu"] = interval["cpu"] * 100.0
+        for name in TRACE_METRIC_NAMES:
+            self.raw[name] = delta.get(name, 0)
         self.reference_cycles = delta.get("reference_cycles", 0)
+        self.per_run.append((benchmark.name, dict(self.raw)))
+        self._pending.append(
+            (benchmark.name, dict(self.raw), self.reference_cycles))
+
+    # -- MergeablePlugin protocol --------------------------------------
+    def snapshot_run(self):
+        pending, self._pending = self._pending, []
+        return pending
+
+    def absorb_run(self, payload) -> None:
+        for name, raw, reference_cycles in payload:
+            self.raw = dict(raw)
+            self.reference_cycles = reference_cycles
+            self.per_run.append((name, dict(raw)))
 
 
 def collect_metrics(benchmark: GuestBenchmark, *, cores: int = 8,

@@ -61,8 +61,13 @@ class VM:
         engine: str = "threaded",
         faults: object = None,
         sanitize: object = None,
+        trace: object = None,
     ) -> None:
         self.counters = Counters()
+        # Flight recorder (repro.trace); installed below once the
+        # subsystems it hooks exist.  Every hot-path hook is a single
+        # None check while this stays None.
+        self.trace = None
         self.pool = ClassPool()
         self.heap = Heap(self.counters)
         self.cache = CacheModel(cores, self.counters)
@@ -102,6 +107,22 @@ class VM:
         self.sanitizer = None
         if sanitize is not None and sanitize is not False:
             self._make_sanitizer(sanitize)
+        # Flight recorder (repro.trace).  ``trace`` is True (defaults),
+        # a TraceConfig, or a prepared FlightRecorder; events cover the
+        # whole VM lifetime, class initializers included.
+        if trace is not None and trace is not False:
+            self._make_trace(trace)
+
+    def _make_trace(self, trace) -> None:
+        from repro.trace.recorder import FlightRecorder, TraceConfig
+
+        if trace is True:
+            trace = FlightRecorder()
+        elif isinstance(trace, TraceConfig):
+            trace = FlightRecorder(trace)
+        if not isinstance(trace, FlightRecorder):
+            raise VMError(f"bad trace spec {trace!r}")
+        trace.attach(self)
 
     def _make_sanitizer(self, sanitize) -> None:
         from repro.sanitize.hb import RaceSanitizer, SanitizerConfig

@@ -1,0 +1,44 @@
+"""repro.trace — JFR-style deterministic flight recorder & profiler.
+
+The observability subsystem of the simulated JVM: a bounded ring buffer
+of typed, timestamped events (:mod:`repro.trace.recorder`), a sampling
+call-stack profiler driven by the simulated clock
+(:mod:`repro.trace.sampler`), timeline/flamegraph/summary exporters
+(:mod:`repro.trace.export`) and the harness plugin that carries them
+through (possibly sharded) suite sweeps (:mod:`repro.trace.plugin`).
+
+Quick use::
+
+    from repro.runtime import VM
+    vm = VM(trace=True)                       # or VM(trace=TraceConfig(...))
+    ...
+    rec = vm.trace.recording(benchmark="x")   # plain-dict recording
+    from repro.trace.export import write_recording
+    write_recording("out/", rec)              # .trace.json/.collapsed.txt/...
+
+or end to end: ``python -m repro.trace renaissance:philosophers --out t/``.
+"""
+
+from repro.trace.export import (
+    chrome_trace,
+    collapsed_output,
+    summary,
+    validate_chrome_trace,
+    write_recording,
+)
+from repro.trace.plugin import TracePlugin
+from repro.trace.recorder import CATEGORIES, FlightRecorder, TraceConfig
+from repro.trace.sampler import Sampler
+
+__all__ = [
+    "CATEGORIES",
+    "FlightRecorder",
+    "Sampler",
+    "TraceConfig",
+    "TracePlugin",
+    "chrome_trace",
+    "collapsed_output",
+    "summary",
+    "validate_chrome_trace",
+    "write_recording",
+]

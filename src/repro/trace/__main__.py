@@ -1,0 +1,121 @@
+"""Command-line flight recording: ``python -m repro.trace``.
+
+Records one benchmark (``suite:name`` or a bare name) or a whole suite
+and writes, per recorded run, the artifact triple into ``--out``:
+
+- ``<bench>.trace.json``     — Chrome ``trace_event`` timeline
+  (open in ``chrome://tracing`` or https://ui.perfetto.dev),
+- ``<bench>.collapsed.txt``  — collapsed stacks for ``flamegraph.pl``,
+- ``<bench>.summary.json``   — top methods, hot monitors, event counts.
+
+Examples::
+
+    python -m repro.trace renaissance:philosophers --out /tmp/t
+    python -m repro.trace scrabble --out /tmp/t --categories monitor,thread
+    python -m repro.trace renaissance --out /tmp/t --jobs 4   # whole suite
+
+Every written Chrome trace is schema-validated first (``make trace``
+relies on this as its tier-2 check).  Recording is deterministic: same
+spec + seed ⇒ byte-identical artifacts, serial or sharded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_categories(spec: str | None):
+    from repro.trace.recorder import CATEGORIES
+
+    if spec is None:
+        return CATEGORIES
+    if spec in ("", "none"):
+        return ()
+    return tuple(part.strip() for part in spec.split(",") if part.strip())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Flight-record a benchmark or suite and export "
+                    "timeline/flamegraph/summary artifacts")
+    parser.add_argument("spec",
+                        help='"suite:benchmark", a benchmark name, or a '
+                             "suite name (records every benchmark)")
+    parser.add_argument("--out", required=True, help="output directory")
+    parser.add_argument("--categories", default=None,
+                        help="comma list of event categories "
+                             "(default: all; 'none' disables events)")
+    parser.add_argument("--capacity", type=int, default=65536,
+                        help="ring-buffer capacity in events")
+    parser.add_argument("--sample-interval", type=int, default=10_000,
+                        help="profiler sample period in cycles (0 = off)")
+    parser.add_argument("--alloc-rate", type=int, default=64,
+                        help="emit every Nth allocation (0 = off)")
+    parser.add_argument("--jit", default="graal",
+                        help='"graal", "c2" or "none"')
+    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--measure", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for suite specs")
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+    from repro.suites.registry import SUITES, get_benchmark
+    from repro.trace.export import write_recording
+    from repro.trace.plugin import TracePlugin
+    from repro.trace.recorder import TraceConfig
+
+    config = TraceConfig(
+        categories=_parse_categories(args.categories),
+        capacity=args.capacity,
+        alloc_sample_rate=args.alloc_rate,
+        sample_interval=args.sample_interval,
+    )
+    jit = None if args.jit in ("none", "None") else args.jit
+    plugin = TracePlugin(config)
+
+    if args.spec in SUITES:
+        from repro.faults.resilience import run_suite
+
+        suite = run_suite(
+            args.spec, jobs=args.jobs, jit=jit, cores=args.cores,
+            schedule_seed=args.seed, warmup=args.warmup,
+            measure=args.measure, plugins=(plugin,))
+        failures = len(suite.failures)
+    else:
+        suite_name = None
+        name = args.spec
+        if ":" in name:
+            suite_name, _, name = name.partition(":")
+        try:
+            bench = get_benchmark(name, suite=suite_name)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        from repro.harness.core import Runner
+
+        Runner(bench, jit=jit, cores=args.cores, schedule_seed=args.seed,
+               plugins=(plugin,)).run(warmup=args.warmup,
+                                      measure=args.measure)
+        failures = 0
+
+    for recording in plugin.recordings:
+        paths = write_recording(args.out, recording)
+        events = recording["emitted"]
+        samples = (recording.get("samples") or {}).get("samples", 0)
+        tag = f" [FAILED: {recording['failed']}]" \
+            if recording.get("failed") else ""
+        print(f"{recording['benchmark']:24s} {events:8d} events "
+              f"{samples:7d} samples -> {paths['trace']}{tag}")
+    if not plugin.recordings:
+        print("nothing recorded", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

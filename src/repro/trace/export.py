@@ -1,0 +1,244 @@
+"""Exporters: Chrome ``trace_event`` JSON, collapsed stacks, summaries.
+
+All exporters consume the plain-dict *recording* produced by
+:meth:`repro.trace.recorder.FlightRecorder.recording` (so they work on
+live recorders, on shard-merged recordings, and on recordings read back
+from disk) and emit deterministic artifacts:
+
+- :func:`chrome_trace` — the Chrome/Perfetto ``trace_event`` format
+  (``chrome://tracing``, https://ui.perfetto.dev): one track per guest
+  thread, contention/wait/park intervals as complete (``X``) events,
+  everything else as instants.  Simulated cycles map to microseconds.
+- :func:`collapsed_output` — Brendan-Gregg collapsed stacks
+  (``thread;Frame;Frame count``), the input of ``flamegraph.pl``.
+- :func:`summary` — a compact JSON digest (top methods, contended
+  monitors with total blocked cycles, per-kind event counts) that
+  :class:`~repro.trace.plugin.TracePlugin` attaches to Runner results.
+
+:func:`validate_chrome_trace` is the schema check used by the tests and
+by ``make trace`` — it returns a list of problems (empty = valid)
+instead of raising, so callers can report all violations at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.trace.sampler import collapsed_lines, inverted_tree, top_methods
+
+_PID = 1
+
+#: Event phases the exporter produces (validated by the schema check).
+_PHASES = frozenset({"M", "X", "i"})
+
+
+def _stacks_of(recording: dict) -> dict:
+    samples = recording.get("samples") or {}
+    return {tuple(key): count for key, count in samples.get("stacks", ())}
+
+
+# ----------------------------------------------------------------------
+# Span pairing.
+# ----------------------------------------------------------------------
+def _spans(events) -> tuple[list, list]:
+    """Pair begin/end events into intervals.
+
+    Returns ``(blocked, instants)``: ``blocked`` holds
+    ``(kind, tid, tag, start, end)`` for monitor contention
+    (``contended`` → ``acquired``), wait (``wait`` → ``acquired``) and
+    park (``park`` → matching ``unpark``); ``instants`` holds every
+    event not consumed as a span boundary.
+    """
+    blocked: list = []
+    instants: list = []
+    pending_monitor: dict[int, tuple] = {}   # tid -> (kind, tag, start)
+    pending_park: dict[int, int] = {}        # tid -> start ts
+    for event in events:
+        _seq, ts, cat, name, tid, args = event
+        if cat == "monitor" and name in ("contended", "wait"):
+            pending_monitor[tid] = (name, args[0], ts)
+            instants.append(event)
+        elif cat == "monitor" and name == "acquired":
+            start = pending_monitor.pop(tid, None)
+            if start is not None:
+                blocked.append((start[0], tid, start[1], start[2], ts))
+            else:
+                instants.append(event)
+        elif cat == "park" and name == "park":
+            pending_park[tid] = ts
+        elif cat == "park" and name == "unpark":
+            target, was_parked = args[0], args[1]
+            start = pending_park.pop(target, None) if was_parked else None
+            if start is not None:
+                blocked.append(("park", target, "park", start, ts))
+            instants.append(event)
+        else:
+            instants.append(event)
+    return blocked, instants
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON.
+# ----------------------------------------------------------------------
+def chrome_trace(recording: dict) -> dict:
+    """Convert a recording into a Chrome ``trace_event`` document."""
+    out: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": _PID, "tid": 0,
+        "args": {"name": f"repro-vm {recording.get('benchmark', '?')}"},
+    }]
+    for tid, name in recording.get("thread_names", {}).items():
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": _PID, "tid": int(tid),
+            "args": {"name": f"{name}#{tid}"},
+        })
+
+    events = [tuple(e[:5]) + (tuple(e[5]),) for e in recording["events"]]
+    blocked, instants = _spans(events)
+    for kind, tid, tag, start, end in blocked:
+        out.append({
+            "ph": "X", "name": f"{kind} {tag}", "cat": "monitor"
+            if kind != "park" else "park",
+            "ts": start, "dur": end - start, "pid": _PID, "tid": tid,
+        })
+    for _seq, ts, cat, name, tid, args in instants:
+        out.append({
+            "ph": "i", "s": "t", "name": f"{cat}:{name}", "cat": cat,
+            "ts": ts, "pid": _PID, "tid": tid,
+            "args": {"detail": [str(a) for a in args]},
+        })
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": recording.get("schema"),
+            "benchmark": recording.get("benchmark"),
+            "config": recording.get("config"),
+            "clock": recording.get("clock"),
+            "dropped": recording.get("dropped"),
+        },
+    }
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Schema-check a ``trace_event`` document; returns problems found."""
+    problems: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        return ["document must be a dict with a traceEvents list"]
+    for i, event in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} must be an int")
+        if ph == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                problems.append(f"{where}: metadata without args.name")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            problems.append(f"{where}: instant without scope")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Collapsed stacks and the summary digest.
+# ----------------------------------------------------------------------
+def collapsed_output(recording: dict) -> str:
+    """Flamegraph-ready collapsed stacks, one per line."""
+    lines = collapsed_lines(_stacks_of(recording))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def summary(recording: dict) -> dict:
+    """Compact digest: top methods, hot monitors, event counts."""
+    events = [tuple(e[:5]) + (tuple(e[5]),) for e in recording["events"]]
+    blocked, _instants = _spans(events)
+    monitors: dict[str, dict] = {}
+    for kind, _tid, tag, start, end in blocked:
+        if kind == "park":
+            continue
+        entry = monitors.setdefault(
+            tag, {"monitor": tag, "contended": 0, "waits": 0,
+                  "blocked_cycles": 0})
+        entry["contended" if kind == "contended" else "waits"] += 1
+        entry["blocked_cycles"] += end - start
+    event_counts: dict[str, int] = {}
+    for _seq, _ts, cat, name, _tid, _args in events:
+        key = f"{cat}.{name}"
+        event_counts[key] = event_counts.get(key, 0) + 1
+    stacks = _stacks_of(recording)
+    samples = recording.get("samples") or {}
+    return {
+        "schema": "repro.trace.summary/1",
+        "benchmark": recording.get("benchmark"),
+        "config": recording.get("config"),
+        "clock": recording.get("clock"),
+        "events": {
+            "emitted": recording.get("emitted", 0),
+            "dropped": recording.get("dropped", 0),
+            "retained": len(events),
+            "counts": dict(sorted(event_counts.items())),
+        },
+        "threads": len(recording.get("thread_names", {})),
+        "top_methods": top_methods(stacks),
+        "hot_monitors": sorted(
+            monitors.values(),
+            key=lambda m: (-m["blocked_cycles"], m["monitor"])),
+        "samples": {
+            "interval": samples.get("interval", 0),
+            "sample_points": samples.get("sample_points", 0),
+            "samples": samples.get("samples", 0),
+        },
+        "inverted_tree": inverted_tree(stacks),
+    }
+
+
+# ----------------------------------------------------------------------
+# Filesystem bundle.
+# ----------------------------------------------------------------------
+def write_recording(outdir, recording: dict, *, stem: str | None = None) -> dict:
+    """Write the trace/collapsed/summary artifact triple for a recording.
+
+    Returns ``{"trace": path, "collapsed": path, "summary": path}``.
+    The Chrome trace is schema-checked before anything is written, so a
+    malformed export fails loudly instead of producing an unloadable
+    file.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    stem = stem or str(recording.get("benchmark", "recording"))
+    stem = "".join(c if c.isalnum() or c in "-_." else "_" for c in stem)
+    doc = chrome_trace(recording)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ReproError(
+            "chrome trace failed schema check: " + "; ".join(problems[:5]))
+    paths = {
+        "trace": outdir / f"{stem}.trace.json",
+        "collapsed": outdir / f"{stem}.collapsed.txt",
+        "summary": outdir / f"{stem}.summary.json",
+    }
+    paths["trace"].write_text(
+        json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    paths["collapsed"].write_text(collapsed_output(recording))
+    paths["summary"].write_text(
+        json.dumps(summary(recording), indent=2, sort_keys=True) + "\n")
+    return paths

@@ -1,0 +1,74 @@
+"""`TracePlugin`: flight recording as a harness measurement plugin.
+
+The paper's harness "provides an interface for custom measurement
+plugins, which can latch onto benchmark execution events" — this is
+that interface carrying the flight recorder.  One recorder is attached
+per :class:`~repro.runtime.vm.VM` in ``before_run`` (covering warmup
+and measurement); ``after_run`` snapshots the full recording, stores it
+on the plugin and attaches the compact :func:`~repro.trace.export.summary`
+digest to the :class:`~repro.harness.core.RunResult` (``result.trace``).
+
+As a :class:`~repro.harness.plugins.MergeablePlugin`, traced suites keep
+working under ``run_suite(jobs=N)``: each shard worker records its own
+benchmarks, the per-run recordings ship back as snapshots, and the
+parent reassembles them in serial order — the merged recording list is
+byte-identical to a serial sweep's (``tests/test_trace.py``).
+"""
+
+from __future__ import annotations
+
+from repro.harness.plugins import MergeablePlugin
+from repro.trace.export import summary
+from repro.trace.recorder import FlightRecorder, TraceConfig
+
+
+class TracePlugin(MergeablePlugin):
+    """Records every benchmark run the harness executes."""
+
+    def __init__(self, config: TraceConfig | None = None) -> None:
+        self.config = config or TraceConfig()
+        self.recordings: list[dict] = []
+        self.recorder: FlightRecorder | None = None
+        self._pending: list[dict] = []      # per-run buffer for sharding
+
+    # ------------------------------------------------------------------
+    # Harness hooks.
+    # ------------------------------------------------------------------
+    def before_run(self, vm, benchmark) -> None:
+        self.recorder = FlightRecorder(self.config).attach(vm)
+
+    def after_run(self, vm, benchmark, result) -> None:
+        recording = self.recorder.recording(
+            benchmark=benchmark.name, config=result.config)
+        self._keep(recording)
+        result.trace = summary(recording)
+
+    def on_fault(self, vm, benchmark, report) -> None:
+        # Unrecovered failure: keep the partial recording (it shows the
+        # timeline right up to the fault) tagged with the failure.
+        if self.recorder is None or vm is None \
+                or getattr(vm, "trace", None) is not self.recorder:
+            return
+        recording = self.recorder.recording(
+            benchmark=benchmark.name, config=report.config)
+        recording["failed"] = report.error_type
+        self._keep(recording)
+
+    def _keep(self, recording: dict) -> None:
+        self.recordings.append(recording)
+        self._pending.append(recording)
+
+    # ------------------------------------------------------------------
+    # Shard merge protocol.
+    # ------------------------------------------------------------------
+    def snapshot_run(self):
+        pending, self._pending = self._pending, []
+        return pending
+
+    def absorb_run(self, payload) -> None:
+        self.recordings.extend(payload or ())
+
+    # ------------------------------------------------------------------
+    @property
+    def last(self) -> dict | None:
+        return self.recordings[-1] if self.recordings else None

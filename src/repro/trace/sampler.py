@@ -1,0 +1,146 @@
+"""Sampling call-stack profiler driven by the simulated clock.
+
+Real sampling profilers interrupt threads on a wall-clock timer; ours
+fires at deterministic simulated-cycle boundaries instead: whenever the
+scheduler clock crosses a multiple of ``interval`` cycles, every live
+guest thread's frame stack is walked and aggregated.  Because the clock
+and the frame stacks are pure functions of the schedule seed, the
+profile is reproducible — the reference and threaded engines produce
+identical samples for the same seed, which is asserted by
+``tests/test_trace.py``.
+
+Samples aggregate two ways (both available on the live :class:`Sampler`
+and, via the module-level functions, on serialized recordings):
+
+- **collapsed stacks** (:func:`collapsed_lines`): Brendan-Gregg
+  ``thread;Outer.m;Inner.m count`` lines, the input format of
+  ``flamegraph.pl`` / speedscope,
+- **inverted call tree** (:func:`inverted_tree`): leaf-first
+  aggregation answering "which methods are on-cpu, called from where" —
+  the shape of a JFR "hot methods" view.
+
+Blocked/waiting threads are sampled too (their stacks show *where* they
+block), with the thread state recorded alongside — a contention profile
+falls out of filtering on state.
+
+A stack key is ``(thread_name, state, frame0, ..., frameN)`` with
+frames outermost first.
+"""
+
+from __future__ import annotations
+
+
+def frame_name(frame) -> str:
+    """Qualified method name of an interpreter or machine frame."""
+    method = getattr(frame, "method", None)
+    if method is not None:
+        qualified = getattr(method, "qualified", None)
+        if qualified is not None:
+            return qualified
+    code = getattr(frame, "code", None)
+    method = getattr(code, "method", None)
+    if method is not None and getattr(method, "qualified", None):
+        return method.qualified
+    return type(frame).__name__
+
+
+# ----------------------------------------------------------------------
+# Aggregations over a {stack_key: count} mapping.
+# ----------------------------------------------------------------------
+def collapsed_lines(stacks: dict) -> list[str]:
+    """``thread;Frame;Frame count`` lines, sorted (deterministic)."""
+    lines = []
+    for key, count in stacks.items():
+        key = tuple(key)
+        lines.append(";".join((key[0],) + key[2:]) + f" {count}")
+    return sorted(lines)
+
+
+def inverted_tree(stacks: dict) -> dict:
+    """Leaf-first call tree: method -> {count, callers: {...}}."""
+    root: dict = {}
+    for key, count in stacks.items():
+        key = tuple(key)
+        node = root
+        for frame in reversed(key[2:]):         # leaf outward
+            entry = node.get(frame)
+            if entry is None:
+                entry = node[frame] = {"count": 0, "callers": {}}
+            entry["count"] += count
+            node = entry["callers"]
+    return root
+
+
+def top_methods(stacks: dict, limit: int = 20) -> list[dict]:
+    """Methods by self (leaf) samples, ties broken by name."""
+    self_counts: dict[str, int] = {}
+    total_counts: dict[str, int] = {}
+    for key, count in stacks.items():
+        frames = tuple(key)[2:]
+        if not frames:
+            continue
+        self_counts[frames[-1]] = self_counts.get(frames[-1], 0) + count
+        for frame in set(frames):
+            total_counts[frame] = total_counts.get(frame, 0) + count
+    ranked = sorted(self_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [
+        {"method": method, "self": self_count, "total": total_counts[method]}
+        for method, self_count in ranked[:limit]
+    ]
+
+
+class Sampler:
+    """Aggregates periodic stack samples of every guest thread."""
+
+    def __init__(self, interval: int, *, counters=None) -> None:
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.interval = interval
+        self.samples = 0                  # per-thread stack samples taken
+        self.sample_points = 0            # clock crossings serviced
+        self.stacks: dict[tuple, int] = {}
+        self._next = interval
+        self._counters = counters
+
+    # ------------------------------------------------------------------
+    def on_clock(self, scheduler) -> None:
+        """Take all sample points the last clock advance crossed."""
+        clock = scheduler.clock
+        while clock >= self._next:
+            self._next += self.interval
+            self.sample_points += 1
+            self._take(scheduler)
+
+    def _take(self, scheduler) -> None:
+        counters = self._counters
+        stacks = self.stacks
+        for thread in scheduler.threads:
+            frames = thread.frames
+            if not frames:
+                continue
+            key = (thread.name, thread.state) + tuple(
+                frame_name(f) for f in frames)
+            stacks[key] = stacks.get(key, 0) + 1
+            self.samples += 1
+            if counters is not None:
+                counters.trace_samples += 1
+
+    # ------------------------------------------------------------------
+    def collapsed(self) -> list[str]:
+        return collapsed_lines(self.stacks)
+
+    def inverted_tree(self) -> dict:
+        return inverted_tree(self.stacks)
+
+    def top_methods(self, limit: int = 20) -> list[dict]:
+        return top_methods(self.stacks, limit)
+
+    def summary(self) -> dict:
+        """JSON-serializable sampler state (rides in the recording)."""
+        return {
+            "interval": self.interval,
+            "sample_points": self.sample_points,
+            "samples": self.samples,
+            "stacks": [[list(key), count]
+                       for key, count in sorted(self.stacks.items())],
+        }
