@@ -14,6 +14,13 @@ chaos:
 sanitize:
 	PYTHONPATH=src python -m repro.sanitize
 
+# Tier-2: the full crash/resume suite — everything in
+# tests/test_durable.py including the heavyweight supervision
+# scenarios (hung-worker kill/respawn, SIGTERM drain) that tier-1
+# skips via the `durable` marker.  Never gates tier-1.
+durable:
+	PYTHONPATH=src python -m pytest -q -m "durable or not chaos" tests/test_durable.py -s
+
 # Self-benchmark: time the simulator itself (reference vs threaded
 # engine) over a fixed workload slice and (re)write the committed
 # BENCH_interpreter.json baseline.

@@ -11,7 +11,9 @@ It also measures the flight recorder's overhead budget (repro.trace):
 the same slice runs untraced, with a recorder attached but every
 category disabled, and fully enabled.  ``--check`` gates the aggregate
 overheads at ≤2% (disabled — each hook site must stay a single None/flag
-check) and ≤15% (enabled).
+check) and ≤15% (enabled), plus the durable-sweep machinery (write-ahead
+journal + content-addressed result store, repro.harness.durable) at a
+≤5% ops/sec drop over the same slice run serially.
 
 The slice is small but representative: the quick subset used by the
 figure benchmarks (string-heavy, lock-heavy, data-parallel, compiler
@@ -104,6 +106,46 @@ def trace_overhead() -> dict:
     return out
 
 
+def durable_overhead(reps: int = REPS) -> dict:
+    """Aggregate slowdown of the durable sweep machinery over the slice.
+
+    Runs the same serial sweep plain and with ``durable_dir`` set (write-
+    ahead journal + content-addressed result store + stage lifecycle),
+    fresh directory every rep so each unit actually executes instead of
+    being served from the store.  Reported as the ops/sec drop implied by
+    the wall-time ratio (instruction counts are identical by construction,
+    so ops/sec is inversely proportional to wall time).
+    """
+    import shutil
+    import tempfile
+
+    from repro.faults.resilience import run_suite
+
+    benches = _resolve_workloads()
+    kwargs = dict(jit=None, warmup=1, measure=1, schedule_seed=0)
+    walls = {"plain": float("inf"), "durable": float("inf")}
+    for _ in range(reps):
+        started = time.perf_counter()
+        run_suite(benches, **kwargs)
+        walls["plain"] = min(walls["plain"], time.perf_counter() - started)
+        tmp = tempfile.mkdtemp(prefix="selfbench-durable-")
+        try:
+            started = time.perf_counter()
+            run_suite(benches, durable_dir=tmp, **kwargs)
+            walls["durable"] = min(
+                walls["durable"], time.perf_counter() - started)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    ops_drop = 1.0 - walls["plain"] / walls["durable"] \
+        if walls["durable"] else 0.0
+    out = {
+        "wall_seconds": {k: round(v, 6) for k, v in walls.items()},
+        "ops_drop": round(ops_drop, 4),
+    }
+    print(f"durable overhead: {ops_drop * 100:+.1f}% ops/sec")
+    return out
+
+
 def run(out_path: Path) -> dict:
     per_bench = {}
     totals = {"reference": 0.0, "threaded": 0.0}
@@ -131,6 +173,7 @@ def run(out_path: Path) -> dict:
     doc = {
         "schema": "selfbench/1",
         "trace_overhead": trace_overhead(),
+        "durable_overhead": durable_overhead(),
         "workloads": per_bench,
         "suite": {
             "instructions": total_instructions,
@@ -162,6 +205,9 @@ def run(out_path: Path) -> dict:
 TRACE_DISABLED_CEILING = 0.02
 TRACE_ENABLED_CEILING = 0.15
 
+#: Durable-sweep (journal + store) ops/sec drop ceiling over the slice.
+DURABLE_OVERHEAD_CEILING = 0.05
+
 
 def check(current: dict, baseline_path: Path,
           tolerance: float = 0.10) -> int:
@@ -170,7 +216,8 @@ def check(current: dict, baseline_path: Path,
     Compared on the suite aggregate: per-benchmark host noise on shared
     CI machines is too high to gate on, the aggregate is stable.  Also
     gates the flight recorder's overhead budget (absolute, from the
-    fresh run): disabled ≤2%, fully enabled ≤15%.
+    fresh run): disabled ≤2%, fully enabled ≤15%; and the durable-sweep
+    machinery (journal + store): ops/sec drop ≤5% over the slice.
     """
     failed = 0
     overhead = current.get("trace_overhead")
@@ -183,6 +230,14 @@ def check(current: dict, baseline_path: Path,
                   f"(ceiling {ceiling * 100:.0f}%): {verdict}")
             if value > ceiling:
                 failed = 1
+    durable = current.get("durable_overhead")
+    if durable is not None:
+        drop = durable["ops_drop"]
+        verdict = "ok" if drop <= DURABLE_OVERHEAD_CEILING else "REGRESSION"
+        print(f"bench-check: durable sweep ops/sec drop {drop * 100:+.1f}% "
+              f"(ceiling {DURABLE_OVERHEAD_CEILING * 100:.0f}%): {verdict}")
+        if drop > DURABLE_OVERHEAD_CEILING:
+            failed = 1
     if not baseline_path.exists():
         print(f"no committed baseline at {baseline_path}; skipping check")
         return failed

@@ -99,6 +99,57 @@ class ThreadKilledError(GuestRuntimeError):
     injected = True
 
 
+class WorkerCrashError(ReproError):
+    """A sweep worker process died or raised outside the harness.
+
+    Carries the worker's formatted traceback (``worker_traceback``) so a
+    crash inside a shard surfaces the real stack instead of a bare
+    pool error, plus the worker id and the unit it was running.
+    """
+
+    def __init__(self, message: str, *, worker_traceback: str = "",
+                 worker: int | None = None, unit: str | None = None) -> None:
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
+        self.worker = worker
+        self.unit = unit
+
+
+class StageTimeout(ReproError):
+    """A durable-sweep stage exceeded its host-wall-clock deadline.
+
+    Raised (or synthesized into a FailureReport) by the durable
+    controller when a unit's ``prepare``/``run``/``collect``/``teardown``
+    stage overruns its :class:`~repro.harness.durable.DurablePolicy`
+    deadline; on the parallel path the supervisor kills the hung worker.
+    """
+
+    def __init__(self, message: str, *, stage: str = "?",
+                 deadline: float = 0.0, elapsed: float = 0.0) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+class SweepInterrupted(ReproError):
+    """A durable sweep was stopped by SIGINT/SIGTERM before finishing.
+
+    The controller drains in-flight units, journals the stop, and raises
+    this with the partial progress counters — ``--resume`` on the same
+    directory picks up exactly where the sweep left off.
+    """
+
+    def __init__(self, message: str, *, stats: dict | None = None) -> None:
+        super().__init__(message)
+        self.stats = dict(stats or {})
+
+
+class DurableSweepError(ReproError):
+    """Misuse of the durable-sweep controller (bad directory, spec
+    mismatch on resume, or plugins that cannot be persisted)."""
+
+
 class DeadlockError(VMError):
     """All guest threads are blocked and none can make progress.
 

@@ -201,6 +201,10 @@ class SuiteResult:
     skipped: list[str] = field(default_factory=list)   # quarantine skips
     quarantine: Quarantine = field(default_factory=Quarantine)
     race_reports: list = field(default_factory=list)   # checked runs only
+    #: Durability counters (units, executed, served_from_store,
+    #: respawns, ...) when the sweep ran through
+    #: :func:`repro.harness.durable.run_suite_durable`; None otherwise.
+    durable: dict | None = None
 
     @property
     def racy(self) -> list:
@@ -215,6 +219,11 @@ class SuiteResult:
     def ok(self) -> bool:
         return not self.failures and not self.skipped
 
+    @property
+    def respawns(self) -> int:
+        """Shard respawns the durable supervisor had to perform."""
+        return (self.durable or {}).get("respawns", 0)
+
     def format(self) -> str:
         lines = [
             f"suite {self.suite} [{self.config}]: "
@@ -224,6 +233,33 @@ class SuiteResult:
         lines.extend(r.format() for r in self.failures)
         return "\n".join(lines)
 
+    def summary_line(self) -> str:
+        """One-line roll-up for CLI failure output."""
+        parts = [f"{self.completed} completed",
+                 f"{len(self.failures)} failed",
+                 f"{len(self.skipped)} quarantine-skipped"]
+        if self.respawns:
+            parts.append(f"{self.respawns} shard respawns")
+        line = f"suite {self.suite} [{self.config}]: " + ", ".join(parts)
+        if self.failures:
+            first = self.failures[0]
+            line += (f" — first failure: {first.benchmark} "
+                     f"{first.error_type}: {first.message}")
+        return line
+
+    def to_report_dict(self) -> dict:
+        """JSON-ready report (stable ordering; see CLI ``--report``)."""
+        return {
+            "schema": "harness-report/1",
+            "suite": self.suite,
+            "config": self.config,
+            "completed": self.completed,
+            "failures": [f.to_dict() for f in self.failures],
+            "skipped": list(self.skipped),
+            "races": len(self.racy),
+            "durable": dict(self.durable) if self.durable else None,
+        }
+
 
 def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
               schedule_seed: int = 0, warmup: int | None = None,
@@ -232,7 +268,9 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
               max_retries: int = 2, repeat: int = 1,
               quarantine: Quarantine | None = None,
               plugins: tuple = (), sanitize=None,
-              jobs: int | None = None) -> SuiteResult:
+              jobs: int | None = None,
+              durable_dir=None, resume: bool = False,
+              durable_policy=None) -> SuiteResult:
     """Run every benchmark of ``suite``, surviving individual failures.
 
     ``suite`` is a registry suite name or an iterable of
@@ -246,7 +284,22 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
     ``SuiteResult.race_reports``.  ``jobs`` > 1 shards the sweep across
     that many worker processes (see :mod:`repro.harness.parallel`) with
     a byte-identical merged result; ``None``/1 runs serially in-process.
+    ``durable_dir`` routes the sweep through the crash-safe controller
+    (:mod:`repro.harness.durable`): journaled stage lifecycle, a
+    content-addressed result store, worker supervision, and
+    ``resume=True`` to continue a killed sweep byte-identically.
     """
+    if durable_dir is not None:
+        from repro.harness.durable import run_suite_durable
+
+        return run_suite_durable(
+            suite, dir=durable_dir, resume=resume, jobs=jobs,
+            policy=durable_policy, jit=jit, cores=cores,
+            schedule_seed=schedule_seed, warmup=warmup, measure=measure,
+            continue_on_error=continue_on_error, faults=faults,
+            iteration_budget=iteration_budget, max_retries=max_retries,
+            repeat=repeat, quarantine=quarantine, plugins=plugins,
+            sanitize=sanitize)
     if jobs is not None and jobs > 1:
         from repro.harness.parallel import run_suite_parallel
 

@@ -7,7 +7,11 @@
 - :mod:`repro.harness.jmh` — a JMH-style frontend (forks × iterations
   with summary statistics),
 - :mod:`repro.harness.stats` — Welch's t-test, winsorization, geometric
-  means and confidence intervals.
+  means and confidence intervals,
+- :mod:`repro.harness.durable` — crash-safe sweeps: journaled stage
+  lifecycle, content-addressed result store, checkpoint/resume, and
+  worker supervision (with :mod:`repro.harness.journal` and
+  :mod:`repro.harness.store` underneath).
 """
 
 from repro.harness.core import (
@@ -18,13 +22,19 @@ from repro.harness.core import (
     ValidationError,
     config_name,
 )
-from repro.harness.plugins import FaultLogPlugin, HarnessPlugin
+from repro.harness.plugins import (
+    FaultLogPlugin,
+    HarnessPlugin,
+    MergeablePlugin,
+)
 from repro.harness.jmh import JmhResult, run_jmh
 from repro.harness.parallel import run_suite_parallel
+from repro.harness.durable import DurablePolicy, run_suite_durable
 
 __all__ = [
     "GuestBenchmark", "IterationResult", "Runner", "RunResult",
     "ValidationError", "config_name",
-    "HarnessPlugin", "FaultLogPlugin", "JmhResult", "run_jmh",
-    "run_suite_parallel",
+    "HarnessPlugin", "FaultLogPlugin", "MergeablePlugin",
+    "JmhResult", "run_jmh",
+    "run_suite_parallel", "run_suite_durable", "DurablePolicy",
 ]

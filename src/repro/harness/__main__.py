@@ -3,29 +3,90 @@
 Runs one registered suite through the resilient harness and prints a
 per-benchmark summary plus the suite roll-up.  ``--jobs N`` shards the
 sweep across N worker processes (byte-identical results, see
-:mod:`repro.harness.parallel`).
+:mod:`repro.harness.parallel`); ``--durable DIR`` journals every stage
+into DIR and caches completed units in a content-addressed store, so a
+killed sweep continues with ``--resume DIR`` instead of starting over
+(see :mod:`repro.harness.durable`).
 
 Options::
 
     python -m repro.harness                          # renaissance, serial
-    python -m repro.harness --suite dacapo --jobs 4  # sharded sweep
+    python -m repro.harness dacapo --jobs 4          # sharded sweep
+    python -m repro.harness renaissance:scrabble,philosophers
     python -m repro.harness --jit none --warmup 1 --measure 1
     python -m repro.harness --sanitize               # checked mode
+    python -m repro.harness --jobs 4 --durable .sweep     # crash-safe
+    python -m repro.harness --jobs 4 --resume .sweep      # ...continue it
+    python -m repro.harness --report out.json        # machine-readable
+
+Exit codes are distinct per failure class so CI can triage without
+parsing output: 0 all good; 1 at least one benchmark failed; 2 nothing
+failed but quarantined benchmarks were skipped; 3 clean results but the
+durable supervisor had to respawn a shard; 4 the sweep was interrupted
+(SIGINT/SIGTERM) after draining — resume it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+
+#: Distinct exit codes (documented above; asserted by tests).
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_QUARANTINED = 2
+EXIT_RESPAWNED = 3
+EXIT_INTERRUPTED = 4
+
+
+def exit_code(suite) -> int:
+    """Most severe applicable code: failures > quarantined > respawns."""
+    if suite.failures:
+        return EXIT_FAILURES
+    if suite.skipped:
+        return EXIT_QUARANTINED
+    if suite.respawns:
+        return EXIT_RESPAWNED
+    return EXIT_OK
+
+
+def _resolve_spec(spec: str):
+    """``suite`` or ``suite:bench1,bench2`` -> run_suite's workload arg."""
+    if ":" not in spec:
+        return spec, spec
+    from repro.suites.registry import get_benchmark
+
+    suite_name, names = spec.split(":", 1)
+    benches = [get_benchmark(name.strip(), suite=suite_name)
+               for name in names.split(",") if name.strip()]
+    return benches, spec
+
+
+def write_report(suite, path: str, code: int) -> None:
+    """Stable JSON report: suite roll-up + FailureReport.to_json dicts."""
+    doc = suite.to_report_dict()
+    doc["exit_code"] = code
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True, indent=2)
+        fh.write("\n")
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Run a benchmark suite through the resilient harness")
-    parser.add_argument("--suite", default="renaissance",
-                        help="registered suite name (default: renaissance)")
+    parser.add_argument(
+        "spec", nargs="?", default=None,
+        help="suite name, optionally with a benchmark subset: "
+             "'renaissance' or 'renaissance:scrabble,philosophers' "
+             "(default: renaissance)")
+    parser.add_argument("--suite", default=None,
+                        help="registered suite name (same as the "
+                             "positional spec; kept for compatibility)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset of the suite")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1 = serial, the default)")
     parser.add_argument("--jit", default="graal",
@@ -40,16 +101,57 @@ def main(argv=None) -> int:
                         help="whole-suite sweep repetitions")
     parser.add_argument("--sanitize", action="store_true",
                         help="checked mode: happens-before race sanitizer")
+    parser.add_argument("--metrics", action="store_true",
+                        help="attach the Table-2 MetricsPlugin")
+    parser.add_argument("--trace", action="store_true",
+                        help="attach the flight-recorder TracePlugin")
+    parser.add_argument("--durable", metavar="DIR", default=None,
+                        help="journal + result store directory: the sweep "
+                             "becomes crash-safe and resumable")
+    parser.add_argument("--resume", metavar="DIR", default=None,
+                        help="resume the durable sweep in DIR, serving "
+                             "completed units from its store")
+    parser.add_argument("--report", metavar="OUT.json", default=None,
+                        help="write a machine-readable failure report")
     args = parser.parse_args(argv)
 
+    from repro.errors import DurableSweepError, SweepInterrupted
     from repro.faults.resilience import run_suite
 
+    spec = args.spec or args.suite or "renaissance"
+    if args.benchmarks:
+        spec = f"{spec.split(':', 1)[0]}:{args.benchmarks}"
+    try:
+        workload, spec_label = _resolve_spec(spec)
+    except Exception as exc:
+        print(f"error: bad spec {spec!r}: {exc}", file=sys.stderr)
+        return EXIT_FAILURES
+
+    plugins = []
+    if args.metrics:
+        from repro.metrics.profiler import MetricsPlugin
+        plugins.append(MetricsPlugin())
+    if args.trace:
+        from repro.trace import TracePlugin
+        plugins.append(TracePlugin())
+
+    durable_dir = args.resume or args.durable
     jit = None if args.jit in ("none", "None") else args.jit
     started = time.perf_counter()
-    suite = run_suite(
-        args.suite, jobs=args.jobs, jit=jit, cores=args.cores,
-        schedule_seed=args.seed, warmup=args.warmup, measure=args.measure,
-        repeat=args.repeat, sanitize=True if args.sanitize else None)
+    try:
+        suite = run_suite(
+            workload, jobs=args.jobs, jit=jit, cores=args.cores,
+            schedule_seed=args.seed, warmup=args.warmup,
+            measure=args.measure, repeat=args.repeat,
+            plugins=tuple(plugins),
+            sanitize=True if args.sanitize else None,
+            durable_dir=durable_dir, resume=args.resume is not None)
+    except SweepInterrupted as exc:
+        print(f"INTERRUPTED: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except DurableSweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURES
     host_seconds = time.perf_counter() - started
 
     for result in suite.results:
@@ -59,8 +161,20 @@ def main(argv=None) -> int:
         if not report.clean:
             print(f"  race: {report.format()}")
     print(suite.format())
+    if suite.durable:
+        d = suite.durable
+        print(f"durable: {d['executed']} executed, "
+              f"{d['served_from_store']} served from store, "
+              f"{d['respawns']} respawns "
+              f"({spec_label} -> {durable_dir})")
     print(f"host wall time: {host_seconds:.2f}s (jobs={args.jobs})")
-    return 1 if suite.failures else 0
+
+    code = exit_code(suite)
+    if code != EXIT_OK:
+        print(f"FAIL[{code}]: {suite.summary_line()}", file=sys.stderr)
+    if args.report:
+        write_report(suite, args.report, code)
+    return code
 
 
 if __name__ == "__main__":

@@ -127,6 +127,34 @@ class RunResult:
         """Total host wall-clock across the measured iterations."""
         return sum(it.host_seconds for it in self.iterations)
 
+    def fingerprint(self) -> str:
+        """SHA-256 over every deterministic field of this result.
+
+        Host timing (``host_seconds``) and the live VM are excluded;
+        everything the simulation determines — per-iteration simulated
+        walls/work/cpu and values, steady-state counters, CPU
+        utilization, and the trace digest if a recorder ran — is
+        canonically serialized.  Two runs of the same (benchmark,
+        config, seed) unit fingerprint identically, whether they ran
+        serially, in a shard, or were resumed from the durable store;
+        ``tests/test_durable.py`` leans on this for its byte-identity
+        assertions.
+        """
+        import hashlib
+        import json
+
+        body = json.dumps({
+            "benchmark": self.benchmark,
+            "config": self.config,
+            "counters": {str(k): v for k, v in sorted(self.counters.items())},
+            "cpu": self.cpu,
+            "iterations": [
+                (it.wall, it.work, it.cpu, repr(it.result))
+                for it in self.iterations],
+            "trace": self.trace,
+        }, sort_keys=True, separators=(",", ":"), default=repr)
+        return hashlib.sha256(body.encode()).hexdigest()
+
 
 class ValidationError(ReproError):
     """A benchmark produced an unexpected result.

@@ -1,0 +1,857 @@
+"""Durable sweeps: crash-safe, resumable suite execution.
+
+:func:`run_suite_durable` wraps the serial and sharded suite paths with
+the durability layer the benchmark-as-a-service roadmap item needs:
+
+- every (suite, benchmark, config, seed, round, engine) **unit** runs
+  through an explicit stage lifecycle — ``prepare → run → collect →
+  teardown`` — with per-stage host-wall-clock deadlines and
+  infrastructure retry (exponential backoff + deterministic jitter) *on
+  top of* the benchmark-level retry-with-reseed that
+  :class:`~repro.faults.resilience.ResilientRunner` already does,
+- all state flows through a write-ahead :class:`~repro.harness.journal.
+  Journal` plus a content-addressed :class:`~repro.harness.store.
+  ResultStore`; a ``kill -9`` at any instant loses at most the units in
+  flight, and ``--resume`` serves completed units from the store so the
+  merged :class:`~repro.faults.resilience.SuiteResult` is byte-identical
+  to an uninterrupted sweep,
+- the parallel path (``jobs=N``) gains worker **supervision**: one
+  private pipe per worker (no shared queues a dying worker could poison),
+  heartbeats, hung/crashed-shard detection, kill-and-respawn with the
+  in-flight unit returned to the queue, and graceful SIGINT/SIGTERM
+  draining that journals in-flight state before raising
+  :class:`~repro.errors.SweepInterrupted`,
+- a failed unit is recorded, persisted, and quarantined — never fatal
+  (``continue_on_error=False`` raises only after the merge, like the
+  sharded path).
+
+Byte-identity holds because unit outcomes are pure functions of their
+keys (fresh VM per run, fully seeded), execution happens on *cloned*
+plugin instances, and the caller's plugins only ever absorb the per-unit
+:class:`~repro.harness.plugins.MergeablePlugin` snapshots in serial
+sweep order (round-major, registry order) at merge time — whether a
+snapshot came from this process, a worker, or the store on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DurableSweepError,
+    ReproError,
+    StageTimeout,
+    SweepInterrupted,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FailureReport
+from repro.harness.core import GuestBenchmark, config_name
+from repro.harness.journal import Journal
+from repro.harness.store import (
+    ResultStore,
+    canonical_digest,
+    decode_outcome,
+    encode_outcome,
+)
+
+#: Stage lifecycle, in order.  ``prepare`` builds the runner and warms
+#: the compile cache, ``run`` executes warmup+measure through the
+#: resilience layer, ``collect`` snapshots plugins and packs the
+#: outcome, ``teardown`` drops VM references.
+STAGES = ("prepare", "run", "collect", "teardown")
+
+_BUDGET_DEFAULT = object()
+
+
+@dataclass
+class DurablePolicy:
+    """Tunables of the durability layer (not of the benchmarks)."""
+
+    #: Infrastructure retries per stage (host-side exceptions only —
+    #: benchmark failures are handled by the resilience layer and are
+    #: deterministic, so re-running them would reproduce the failure).
+    max_stage_retries: int = 2
+    #: Exponential backoff: ``base * 2**attempt`` capped at ``cap``,
+    #: plus deterministic jitter derived from (unit digest, stage,
+    #: attempt) so replays sleep identically.
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: Host-wall-clock deadline per stage (seconds); None = unlimited.
+    #: On the parallel path the supervisor kills a worker whose stage
+    #: overruns; serially the overrun is detected after the stage ends.
+    stage_deadlines: dict | None = None
+    #: Worker heartbeat cadence and the staleness that declares a
+    #: worker dead even when the OS still lists the process.
+    heartbeat_interval: float = 0.25
+    heartbeat_timeout: float = 15.0
+    #: Total dispatch attempts per unit before the controller gives up
+    #: and synthesizes a quarantining FailureReport (covers workers
+    #: that crash or hang deterministically on one unit).
+    max_unit_attempts: int = 2
+    #: How long graceful draining waits for in-flight units on
+    #: SIGINT/SIGTERM before killing the workers outright.
+    drain_timeout: float = 30.0
+    #: fsync journal appends (slower, survives power loss too).
+    fsync: bool = False
+    #: Testing hook: behave as if SIGINT arrived after this many units
+    #: were executed and persisted in this session.
+    abort_after_units: int | None = None
+
+    def deadline_for(self, stage: str) -> float | None:
+        return (self.stage_deadlines or {}).get(stage)
+
+    def backoff_delay(self, digest: str, stage: str, attempt: int) -> float:
+        base = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        seed = hashlib.sha256(
+            f"{digest}:{stage}:{attempt}".encode()).hexdigest()[:8]
+        return base + (int(seed, 16) / 0xFFFFFFFF) * self.backoff_base
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One schedulable cell of the sweep matrix."""
+
+    index: int                  # registry position within the suite
+    round: int                  # sweep repetition this cell belongs to
+    benchmark: GuestBenchmark
+    digest: str                 # content address of the unit key
+
+    @property
+    def name(self) -> str:
+        return self.benchmark.name
+
+
+# ----------------------------------------------------------------------
+# Unit keys and fingerprints.
+# ----------------------------------------------------------------------
+def _sanitize_fp(sanitize) -> object:
+    if sanitize is None or sanitize is False:
+        return None
+    if sanitize is True:
+        return "default"
+    return repr(sanitize)           # dataclass repr is deterministic
+
+
+def _faults_fp(faults) -> object:
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults.to_dict()
+    return {name: (plan.to_dict() if plan is not None else None)
+            for name, plan in sorted(faults.items())}
+
+
+def _config_fingerprint(kwargs: dict, faults, plugins: tuple) -> dict:
+    """The run parameters a unit's outcome depends on.
+
+    Plugins are part of the identity: an attached flight recorder or
+    metrics profiler changes the VM's counters, so units recorded under
+    one plugin stack must not be served to a resume with another (the
+    stack is fingerprinted by class; reconfiguring the *same* plugin
+    class differently is on the caller).  Normalized through a JSON
+    round-trip so the in-memory fingerprint compares equal to one
+    replayed from the journal (tuples -> lists).
+    """
+    fingerprint = {
+        "plugins": [f"{type(p).__module__}.{type(p).__qualname__}"
+                    for p in plugins],
+        "schema": "repro-sweep/1",
+        "config": config_name(
+            None if kwargs["sanitize"] else kwargs["jit"]),
+        "cores": kwargs["cores"],
+        "schedule_seed": kwargs["schedule_seed"],
+        "warmup": kwargs["warmup"],
+        "measure": kwargs["measure"],
+        "iteration_budget": kwargs["iteration_budget"],
+        "max_retries": kwargs["max_retries"],
+        "sanitize": _sanitize_fp(kwargs["sanitize"]),
+        "faults": _faults_fp(faults),
+        "engine": "default",
+    }
+    return json.loads(json.dumps(fingerprint, sort_keys=True))
+
+
+def unit_digest(bench: GuestBenchmark, rnd: int, fingerprint: dict) -> str:
+    key = {
+        "benchmark": bench.name,
+        "source": hashlib.sha256(bench.source.encode()).hexdigest(),
+        "entry": bench.entry,
+        "args": repr(bench.args),
+        "expected": repr(bench.expected),
+        "round": rnd,
+        "sweep": fingerprint,
+    }
+    return canonical_digest(key)
+
+
+def _clone_plugins(plugins: tuple) -> tuple:
+    """Execution copies: the caller's instances only absorb at merge."""
+    return pickle.loads(pickle.dumps(tuple(plugins)))
+
+
+# ----------------------------------------------------------------------
+# Stage lifecycle (runs in the controller for serial sweeps, in a
+# worker process for jobs=N).
+# ----------------------------------------------------------------------
+def execute_unit(unit: SweepUnit, kwargs: dict, plan, plugins: tuple,
+                 policy: DurablePolicy, notify=None) -> dict:
+    """Run one unit through prepare → run → collect → teardown.
+
+    Returns an outcome dict (kind ``"result"`` or ``"failure"``).  Host
+    exceptions retry with backoff+jitter up to ``max_stage_retries`` and
+    then become a synthesized, quarantining FailureReport — a sick stage
+    never kills the sweep.  Benchmark-level failures arrive here already
+    folded into a FailureReport by the resilience layer.
+    """
+    from repro.faults.resilience import ResilientRunner
+
+    state: dict = {}
+    stage_trace: list = []
+
+    def _prepare():
+        try:                          # warm the compile cache; a real
+            unit.benchmark.compile()  # compile error surfaces in run()
+        except ReproError:            # through the resilience layer so
+            pass                      # the report matches a plain sweep
+        state["runner"] = ResilientRunner(
+            unit.benchmark, jit=kwargs["jit"], cores=kwargs["cores"],
+            schedule_seed=kwargs["schedule_seed"], plugins=plugins,
+            faults=plan, iteration_budget=kwargs["iteration_budget"],
+            max_retries=kwargs["max_retries"], sanitize=kwargs["sanitize"])
+
+    def _run():
+        state["outcome"] = state["runner"].run(
+            warmup=kwargs["warmup"], measure=kwargs["measure"])
+
+    def _collect():
+        payloads = tuple(p.snapshot_run() for p in plugins)
+        res = state["outcome"]
+        if res.ok:
+            res.result.vm = None      # VMs neither pickle nor merge
+            state["packed"] = {
+                "kind": "result", "result": res.result,
+                "race": res.race_report, "plugins": payloads,
+                "retries": res.retries}
+        else:
+            state["packed"] = {
+                "kind": "failure", "failure": res.failure,
+                "plugins": payloads}
+
+    def _teardown():
+        state.pop("runner", None)
+        state.pop("outcome", None)
+
+    stage_fns = {"prepare": _prepare, "run": _run,
+                 "collect": _collect, "teardown": _teardown}
+    for stage in STAGES:
+        try:
+            _run_stage(unit, stage, stage_fns[stage], policy,
+                       stage_trace, notify)
+        except Exception as exc:      # infra failure after retries
+            report = FailureReport(
+                benchmark=unit.name,
+                config=config_name(
+                    None if kwargs["sanitize"] else kwargs["jit"]),
+                error_type=type(exc).__name__,
+                message=str(exc),
+                phase=f"stage:{stage}",
+                schedule_seed=kwargs["schedule_seed"],
+                extra={"stage": stage,
+                       "traceback": traceback.format_exc()})
+            return {"kind": "failure", "failure": report, "plugins": None,
+                    "stages": tuple(stage_trace)}
+    packed = state["packed"]
+    packed["stages"] = tuple(stage_trace)
+    return packed
+
+
+def _run_stage(unit, stage, fn, policy, stage_trace, notify) -> None:
+    deadline = policy.deadline_for(stage)
+    attempt = 0
+    while True:
+        if notify is not None:
+            notify(stage, attempt)
+        started = time.perf_counter()
+        try:
+            fn()
+        except ReproError:
+            raise                     # deterministic — retry is futile
+        except Exception:
+            if attempt >= policy.max_stage_retries:
+                raise
+            time.sleep(policy.backoff_delay(unit.digest, stage, attempt))
+            attempt += 1
+            continue
+        elapsed = time.perf_counter() - started
+        stage_trace.append((stage, attempt))
+        if deadline is not None and elapsed > deadline:
+            # Serial path: the overrun is only observable after the
+            # fact (the parallel supervisor kills mid-stage instead).
+            raise StageTimeout(
+                f"{unit.name} stage {stage} took {elapsed:.3f}s "
+                f"(deadline {deadline:.3f}s)",
+                stage=stage, deadline=deadline, elapsed=elapsed)
+        return
+
+
+# ----------------------------------------------------------------------
+# Worker process (jobs=N path).
+# ----------------------------------------------------------------------
+def _durable_worker(conn, kwargs, plans, plugins, policy) -> None:
+    """Pull units off a private pipe, heartbeat, ship outcomes back."""
+    send_lock = threading.Lock()
+
+    def send(msg) -> None:
+        with send_lock:
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):      # parent is gone
+                os._exit(1)
+
+    stop_beating = threading.Event()
+
+    def beat() -> None:
+        while not stop_beating.wait(policy.heartbeat_interval):
+            send(("hb",))
+
+    threading.Thread(target=beat, daemon=True).start()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        unit = msg[1]
+        try:
+            outcome = execute_unit(
+                unit, kwargs, plans.get(unit.name), plugins, policy,
+                notify=lambda stage, attempt: send(
+                    ("stage", unit.digest, stage, attempt)))
+            send(("done", unit.digest, encode_outcome(outcome)))
+        except BaseException:         # truly unexpected: report and die
+            send(("crash", unit.digest, traceback.format_exc()))
+            raise
+    stop_beating.set()
+    conn.close()
+
+
+class _Worker:
+    """Parent-side view of one supervised worker process."""
+
+    def __init__(self, wid: int, proc, conn) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        self.inflight: SweepUnit | None = None
+        self.last_seen = time.monotonic()
+        self.stage = None
+        self.stage_attempt = 0
+        self.stage_started = time.monotonic()
+
+
+# ----------------------------------------------------------------------
+# The controller.
+# ----------------------------------------------------------------------
+class DurableSweep:
+    """Journaled, resumable, supervised execution of one suite sweep."""
+
+    def __init__(self, suite, *, dir, resume: bool = False,
+                 jobs: int | None = None,
+                 policy: DurablePolicy | None = None,
+                 jit="graal", cores: int = 8, schedule_seed: int = 0,
+                 warmup: int | None = None, measure: int | None = None,
+                 continue_on_error: bool = True, faults=None,
+                 iteration_budget=_BUDGET_DEFAULT, max_retries: int = 2,
+                 repeat: int = 1, quarantine=None, plugins: tuple = (),
+                 sanitize=None) -> None:
+        from repro.faults.resilience import DEFAULT_ITERATION_BUDGET
+        from repro.harness.plugins import MergeablePlugin
+
+        if iteration_budget is _BUDGET_DEFAULT:
+            iteration_budget = DEFAULT_ITERATION_BUDGET
+        plugins = tuple(plugins)
+        if not all(isinstance(p, MergeablePlugin) for p in plugins):
+            raise DurableSweepError(
+                "durable sweeps persist plugin state into the store; "
+                "every plugin must implement MergeablePlugin")
+        from repro.harness.parallel import _forkable, _resolve
+        if not _forkable(sanitize):
+            raise DurableSweepError(
+                "pass sanitize=True or a SanitizerConfig (a prepared "
+                "SanitizerPlugin holds unshareable in-process state)")
+        self.benches, self.suite_name = _resolve(suite)
+        self.dir = str(dir)
+        self.resume = resume
+        self.jobs = jobs
+        self.policy = policy or DurablePolicy()
+        self.kwargs = dict(
+            jit=jit, cores=cores, schedule_seed=schedule_seed,
+            warmup=warmup, measure=measure,
+            iteration_budget=iteration_budget, max_retries=max_retries,
+            sanitize=sanitize)
+        self.continue_on_error = continue_on_error
+        self.repeat = repeat
+        self.quarantine = quarantine
+        self.plugins = plugins
+        if isinstance(faults, FaultPlan) or faults is None:
+            self.plans = {b.name: faults for b in self.benches}
+        else:
+            self.plans = {b.name: faults.get(b.name) for b in self.benches}
+        self.fingerprint = _config_fingerprint(self.kwargs, faults, plugins)
+        self.config = config_name(None if sanitize else jit)
+
+        self.units: dict[tuple[int, int], SweepUnit] = {}
+        for rnd in range(repeat):
+            for idx, bench in enumerate(self.benches):
+                self.units[(idx, rnd)] = SweepUnit(
+                    idx, rnd, bench,
+                    unit_digest(bench, rnd, self.fingerprint))
+        self.outcomes: dict[str, dict] = {}
+        self.ready: list[SweepUnit] = []
+        self.failed_bench: set[str] = set()
+        self.stats = {
+            "units": len(self.units), "executed": 0,
+            "served_from_store": 0, "failed": 0, "skipped": 0,
+            "respawns": 0, "stage_retries": 0,
+            "corrupt_journal_entries": 0, "corrupt_store_entries": 0,
+            "interrupted": False,
+        }
+        self._signal: str | None = None
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Setup / teardown.
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        os.makedirs(self.dir, exist_ok=True)
+        journal_path = os.path.join(self.dir, "journal.wal")
+        if os.path.exists(journal_path) and not self.resume:
+            raise DurableSweepError(
+                f"{self.dir} already holds a sweep journal; pass "
+                f"resume=True (CLI: --resume) to continue it")
+        self.store = ResultStore(self.dir)
+        self.journal = Journal(journal_path, fsync=self.policy.fsync)
+        if self.resume and os.path.exists(journal_path):
+            replay = self.journal.replay()
+            self.stats["corrupt_journal_entries"] = len(replay.corrupt)
+            begin = replay.last_of_kind("sweep-begin")
+            if begin is not None and begin.get("fingerprint") is not None \
+                    and begin["fingerprint"] != self.fingerprint:
+                raise DurableSweepError(
+                    "resume spec mismatch: this directory was written by "
+                    "a sweep with different run parameters "
+                    f"({begin['fingerprint']} != {self.fingerprint})")
+        self.journal.open()
+        self.journal.append(
+            "sweep-begin", suite=self.suite_name,
+            benchmarks=[b.name for b in self.benches],
+            repeat=self.repeat, jobs=self.jobs or 1, resume=self.resume,
+            fingerprint=self.fingerprint, t=round(time.time(), 3))
+
+    def _install_signals(self):
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        def handler(signum, frame):
+            self._signal = signal.Signals(signum).name
+
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, handler)
+            except (ValueError, OSError):           # pragma: no cover
+                pass
+        return previous
+
+    # ------------------------------------------------------------------
+    # Scheduling: rounds of one benchmark form a chain (a failure
+    # quarantines the later rounds), so round r+1 is only schedulable
+    # once round r resolved.
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        pre = self.quarantine
+        for idx, bench in enumerate(self.benches):
+            if pre is not None and bench.name in pre:
+                continue              # every round is a merge-time skip
+            self._schedule(self.units[(idx, 0)])
+
+    def _schedule(self, unit: SweepUnit) -> None:
+        payload = self.store.get(unit.digest)
+        if payload is not None:
+            try:
+                outcome = decode_outcome(payload)
+            except Exception:                       # pragma: no cover
+                self.store.corrupt.append((unit.digest, "undecodable"))
+                outcome = None
+            if outcome is not None:
+                self.stats["served_from_store"] += 1
+                self.journal.append(
+                    "unit-cached", digest=unit.digest, benchmark=unit.name,
+                    round=unit.round, outcome=outcome["kind"])
+                self._resolve(unit, outcome)
+                return
+        self.ready.append(unit)
+
+    def _resolve(self, unit: SweepUnit, outcome: dict) -> None:
+        self.outcomes[unit.digest] = outcome
+        if outcome["kind"] == "failure":
+            self.failed_bench.add(unit.name)
+            self.stats["failed"] += 1
+        nxt = (unit.index, unit.round + 1)
+        if unit.round + 1 < self.repeat and unit.name not in self.failed_bench:
+            self._schedule(self.units[nxt])
+
+    def _persist(self, unit: SweepUnit, outcome: dict,
+                 payload: bytes | None = None) -> None:
+        if payload is None:
+            payload = encode_outcome(outcome)
+        self.store.put(unit.digest, payload)
+        self.stats["executed"] += 1
+        self.journal.append(
+            "unit-done", digest=unit.digest, benchmark=unit.name,
+            round=unit.round, outcome=outcome["kind"],
+            retries=outcome.get("retries", 0))
+        self._resolve(unit, outcome)
+        abort_after = self.policy.abort_after_units
+        if abort_after is not None and self.stats["executed"] >= abort_after:
+            self._signal = self._signal or "test-abort"
+
+    # ------------------------------------------------------------------
+    # Serial execution.
+    # ------------------------------------------------------------------
+    def _run_serial(self) -> None:
+        exec_plugins = _clone_plugins(self.plugins)
+
+        def notify_factory(unit):
+            def notify(stage, attempt):
+                if attempt > 0:
+                    self.stats["stage_retries"] += 1
+                self.journal.append(
+                    "stage", digest=unit.digest, stage=stage,
+                    attempt=attempt, worker=0)
+            return notify
+
+        while self.ready:
+            if self._signal is not None:
+                self._drain_serial()
+                return
+            self.ready.sort(key=lambda u: (u.round, u.index))
+            unit = self.ready.pop(0)
+            self.journal.append(
+                "unit-begin", digest=unit.digest, benchmark=unit.name,
+                round=unit.round, worker=0)
+            outcome = execute_unit(
+                unit, self.kwargs, self.plans.get(unit.name),
+                exec_plugins, self.policy, notify=notify_factory(unit))
+            self._persist(unit, outcome)
+        if self._signal is not None:
+            self._drain_serial()
+
+    def _drain_serial(self) -> None:
+        self.journal.append(
+            "drain-begin", signal=self._signal,
+            inflight=[], pending=[u.digest for u in self.ready])
+        self._interrupt()
+
+    def _interrupt(self) -> None:
+        self.stats["interrupted"] = True
+        self.journal.append("sweep-interrupt", signal=self._signal,
+                            stats={k: v for k, v in self.stats.items()
+                                   if k != "interrupted"})
+        raise SweepInterrupted(
+            f"sweep interrupted by {self._signal}; resume with "
+            f"--resume {self.dir}", stats=self.stats)
+
+    # ------------------------------------------------------------------
+    # Supervised parallel execution.
+    # ------------------------------------------------------------------
+    def _run_parallel(self) -> None:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:                          # pragma: no cover
+            ctx = multiprocessing.get_context("spawn")
+        self._ctx = ctx
+        exec_plugins = _clone_plugins(self.plugins)
+        self._worker_args = (self.kwargs, self.plans, exec_plugins,
+                             self.policy)
+        jobs = min(self.jobs, max(1, len(self.ready)))
+        workers: dict[int, _Worker] = {}
+        self._next_wid = 0
+        attempts: dict[str, int] = {}
+
+        def spawn() -> _Worker:
+            wid = self._next_wid
+            self._next_wid += 1
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_durable_worker,
+                args=(child_conn,) + self._worker_args, daemon=True)
+            proc.start()
+            child_conn.close()
+            worker = _Worker(wid, proc, parent_conn)
+            workers[wid] = worker
+            self.journal.append("shard-spawn", worker=wid, pid=proc.pid)
+            return worker
+
+        def retire(worker: _Worker, reason: str, *, respawn: bool,
+                   worker_tb: str = "") -> None:
+            """Kill/bury one worker; requeue or fail its in-flight unit."""
+            self.journal.append(
+                "shard-exit", worker=worker.wid, pid=worker.proc.pid,
+                reason=reason)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+            worker.proc.join(timeout=5)
+            try:
+                worker.conn.close()
+            except OSError:                         # pragma: no cover
+                pass
+            workers.pop(worker.wid, None)
+            unit = worker.inflight
+            if unit is not None:
+                attempts[unit.digest] = attempts.get(unit.digest, 0) + 1
+                if attempts[unit.digest] >= self.policy.max_unit_attempts:
+                    self._fail_unit(unit, worker, reason, worker_tb)
+                else:
+                    self.ready.insert(0, unit)
+            if respawn and not self._draining and (self.ready or unit):
+                replacement = spawn()
+                self.stats["respawns"] += 1
+                self.journal.append(
+                    "shard-respawn", worker=replacement.wid,
+                    pid=replacement.proc.pid, replaces=worker.wid)
+
+        for _ in range(jobs):
+            spawn()
+
+        try:
+            while self.ready or any(w.inflight for w in workers.values()):
+                if self._signal is not None and not self._draining:
+                    self._draining = True
+                    self.journal.append(
+                        "drain-begin", signal=self._signal,
+                        inflight=[w.inflight.digest
+                                  for w in workers.values() if w.inflight],
+                        pending=[u.digest for u in self.ready])
+                    self._drain_started = time.monotonic()
+                if self._draining:
+                    if not any(w.inflight for w in workers.values()):
+                        break
+                    if (time.monotonic() - self._drain_started
+                            > self.policy.drain_timeout):
+                        break         # stop waiting; kill below
+                else:
+                    self._dispatch(workers, spawn)
+                self._pump(workers, retire)
+        finally:
+            for worker in list(workers.values()):
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+                try:
+                    worker.conn.close()
+                except OSError:                     # pragma: no cover
+                    pass
+                worker.proc.join(timeout=2)
+                if worker.proc.is_alive():
+                    worker.proc.kill()
+                    worker.proc.join(timeout=5)
+        if self._signal is not None:
+            self._interrupt()
+
+    def _dispatch(self, workers: dict, spawn) -> None:
+        if self.ready and not workers:
+            spawn()                   # everyone died; keep the sweep alive
+        for worker in workers.values():
+            if not self.ready:
+                break
+            if worker.inflight is None:
+                unit = self.ready.pop(0)
+                worker.inflight = unit
+                worker.stage = None
+                worker.stage_started = time.monotonic()
+                try:
+                    worker.conn.send(("unit", unit))
+                except (BrokenPipeError, OSError):
+                    self.ready.insert(0, unit)
+                    worker.inflight = None
+                    continue
+                self.journal.append(
+                    "unit-begin", digest=unit.digest, benchmark=unit.name,
+                    round=unit.round, worker=worker.wid)
+
+    def _pump(self, workers: dict, retire) -> None:
+        from multiprocessing import connection
+
+        conns = {w.conn: w for w in workers.values()}
+        for conn in connection.wait(list(conns), timeout=0.05):
+            worker = conns[conn]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                retire(worker, "pipe closed (worker died)", respawn=True)
+                continue
+            worker.last_seen = time.monotonic()
+            kind = msg[0]
+            if kind == "hb":
+                continue
+            if kind == "stage":
+                _, digest, stage, attempt = msg
+                worker.stage = stage
+                worker.stage_attempt = attempt
+                worker.stage_started = time.monotonic()
+                if attempt > 0:
+                    self.stats["stage_retries"] += 1
+                self.journal.append(
+                    "stage", digest=digest, stage=stage, attempt=attempt,
+                    worker=worker.wid)
+            elif kind == "done":
+                _, digest, payload = msg
+                unit, worker.inflight = worker.inflight, None
+                worker.stage = None
+                if unit is not None and unit.digest == digest:
+                    self._persist(unit, decode_outcome(payload),
+                                  payload=payload)
+            elif kind == "crash":
+                _, digest, worker_tb = msg
+                retire(worker, "worker raised", respawn=True,
+                       worker_tb=worker_tb)
+
+        now = time.monotonic()
+        for worker in list(workers.values()):
+            if not worker.proc.is_alive():
+                retire(worker, f"process exited "
+                       f"(exitcode {worker.proc.exitcode})", respawn=True)
+                continue
+            if now - worker.last_seen > self.policy.heartbeat_timeout:
+                retire(worker, "heartbeat lost", respawn=True)
+                continue
+            if worker.inflight is not None and worker.stage is not None:
+                deadline = self.policy.deadline_for(worker.stage)
+                if deadline is not None \
+                        and now - worker.stage_started > deadline:
+                    retire(worker,
+                           f"stage {worker.stage} exceeded "
+                           f"{deadline:.3f}s deadline", respawn=True)
+
+    def _fail_unit(self, unit: SweepUnit, worker: _Worker, reason: str,
+                   worker_tb: str) -> None:
+        """Synthesize a quarantining failure for an unrunnable unit."""
+        timed_out = "deadline" in reason
+        report = FailureReport(
+            benchmark=unit.name, config=self.config,
+            error_type="StageTimeout" if timed_out else "WorkerCrashError",
+            message=f"worker {worker.wid}: {reason} "
+                    f"(stage {worker.stage or '?'}, "
+                    f"attempt {self.policy.max_unit_attempts})",
+            phase=f"stage:{worker.stage or '?'}",
+            schedule_seed=self.kwargs["schedule_seed"],
+            retries=self.policy.max_unit_attempts - 1,
+            extra={"worker": worker.wid, "stage": worker.stage,
+                   "traceback": worker_tb})
+        self._persist(unit, {"kind": "failure", "failure": report,
+                             "plugins": None})
+
+    # ------------------------------------------------------------------
+    # Merge: stitch outcomes back in serial sweep order.
+    # ------------------------------------------------------------------
+    def _merge(self):
+        from repro.faults.resilience import Quarantine, SuiteResult
+
+        out = SuiteResult(
+            self.suite_name, self.config,
+            quarantine=self.quarantine if self.quarantine is not None
+            else Quarantine())
+        first_error = None
+        for rnd in range(self.repeat):
+            for idx, bench in enumerate(self.benches):
+                if bench.name in out.quarantine:
+                    out.skipped.append(bench.name)
+                    self.stats["skipped"] += 1
+                    continue
+                unit = self.units[(idx, rnd)]
+                outcome = self.outcomes.get(unit.digest)
+                if outcome is None:                 # pragma: no cover
+                    raise DurableSweepError(
+                        f"unit {unit.name} round {rnd} has no outcome "
+                        f"({unit.digest[:12]}); journal/store inconsistent")
+                if outcome["kind"] == "result":
+                    out.results.append(outcome["result"])
+                    if outcome["race"] is not None:
+                        out.race_reports.append(outcome["race"])
+                    self._absorb(outcome["plugins"])
+                else:
+                    report = outcome["failure"]
+                    out.failures.append(report)
+                    out.quarantine.add(report)
+                    self._absorb(outcome.get("plugins"))
+                    if first_error is None:
+                        first_error = report
+        out.durable = dict(self.stats)
+        if first_error is not None and not self.continue_on_error:
+            raise ReproError(
+                f"suite {self.suite_name} aborted on "
+                f"{first_error.benchmark}: {first_error.message}")
+        return out
+
+    def _absorb(self, payloads) -> None:
+        if payloads is None:
+            return
+        for plugin, payload in zip(self.plugins, payloads):
+            plugin.absorb_run(payload)
+
+    # ------------------------------------------------------------------
+    def run(self):
+        self._open()
+        previous = self._install_signals()
+        try:
+            self._bootstrap()
+            try:
+                if self.jobs is not None and self.jobs > 1 and self.ready:
+                    self._run_parallel()
+                else:
+                    self._run_serial()
+            except SweepInterrupted:
+                self.stats["corrupt_store_entries"] += len(self.store.corrupt)
+                raise
+            self.stats["corrupt_store_entries"] += len(self.store.corrupt)
+            out = self._merge()
+            self.journal.append(
+                "sweep-end", completed=len(out.results),
+                stats={k: v for k, v in self.stats.items()
+                       if k != "interrupted"})
+            return out
+        finally:
+            self.journal.close()
+            if previous:
+                for signum, old in previous.items():
+                    signal.signal(signum, old)
+
+
+def run_suite_durable(suite="renaissance", *, dir, resume: bool = False,
+                      jobs: int | None = None,
+                      policy: DurablePolicy | None = None, **kwargs):
+    """Crash-safe :func:`~repro.faults.resilience.run_suite`.
+
+    All run parameters match :func:`run_suite`; ``dir`` is the sweep
+    directory holding the write-ahead journal (``journal.wal``) and the
+    content-addressed result store (``objects/``).  ``resume=True``
+    serves units already completed by a previous (possibly killed) sweep
+    from the store — the merged result is byte-identical to an
+    uninterrupted run.  The returned SuiteResult carries the durability
+    counters in ``result.durable``.
+    """
+    return DurableSweep(suite, dir=dir, resume=resume, jobs=jobs,
+                        policy=policy, **kwargs).run()

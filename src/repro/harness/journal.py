@@ -1,0 +1,141 @@
+"""Write-ahead journal for durable sweeps.
+
+Every state transition of a durable sweep (unit started, stage entered,
+unit completed/failed/skipped, shard spawned/killed/respawned, drain on
+SIGINT) is appended here *before* the controller acts on it, so a
+``kill -9`` at any instant leaves a prefix that fully describes what
+had happened.  The journal is diagnostic and advisory: the
+content-addressed :class:`~repro.harness.store.ResultStore` is the
+authority on which units are complete (its payloads are checksummed),
+while the journal carries the sweep fingerprint (resume refuses a
+mismatched spec), the supervision history, and the counters.
+
+Format: one record per line, ``crc32-hex space canonical-json``::
+
+    3f2a9c01 {"kind":"unit-done","seq":12,...}
+
+- canonical JSON (sorted keys, fixed separators) makes identical sweeps
+  byte-identical journals (timestamps are explicitly excluded from the
+  checksummed identity fields; host times live under ``t`` and are for
+  humans only),
+- the per-line CRC detects bit flips: a corrupt line is *skipped* and
+  reported, never fatal — losing a journal record at worst re-runs a
+  unit,
+- a truncated tail (the ``kill -9`` case: a partial last line with no
+  newline or a failing checksum) is tolerated the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Replay:
+    """Decoded journal contents plus everything wrong with them."""
+
+    records: list = field(default_factory=list)
+    #: (line_number, reason) for every line that failed to decode.
+    corrupt: list = field(default_factory=list)
+    #: One past the highest intact sequence number (0 for a fresh log).
+    next_seq: int = 0
+
+    def of_kind(self, kind: str) -> list:
+        return [r for r in self.records if r.get("kind") == kind]
+
+    def last_of_kind(self, kind: str) -> dict | None:
+        found = self.of_kind(kind)
+        return found[-1] if found else None
+
+
+def _encode(record: dict) -> str:
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return f"{zlib.crc32(body.encode()) & 0xFFFFFFFF:08x} {body}\n"
+
+
+def _decode(line: str) -> dict:
+    """One journal line -> record dict; raises ValueError on corruption."""
+    if " " not in line:
+        raise ValueError("no checksum separator")
+    checksum, body = line.split(" ", 1)
+    if len(checksum) != 8:
+        raise ValueError("malformed checksum field")
+    if zlib.crc32(body.encode()) & 0xFFFFFFFF != int(checksum, 16):
+        raise ValueError("checksum mismatch")
+    record = json.loads(body)
+    if not isinstance(record, dict) or "kind" not in record:
+        raise ValueError("record is not an object with a kind")
+    return record
+
+
+class Journal:
+    """Append-only, checksummed, crash-tolerant event log."""
+
+    def __init__(self, path, *, fsync: bool = False) -> None:
+        self.path = str(path)
+        self.fsync = fsync
+        self._seq = 0
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+    def open(self) -> Journal:
+        """Open for appending, continuing the sequence of a prior run."""
+        if os.path.exists(self.path):
+            self._seq = self.replay().next_seq
+        self._fh = open(self.path, "a", encoding="utf-8")
+        return self
+
+    def append(self, kind: str, **fields) -> dict:
+        """Write one record durably; returns the record (with seq)."""
+        if self._fh is None:
+            self.open()
+        record = {"kind": kind, "seq": self._seq, **fields}
+        self._fh.write(_encode(record))
+        self._fh.flush()
+        if self.fsync:                               # pragma: no cover
+            os.fsync(self._fh.fileno())
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> Journal:
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    def replay(self) -> Replay:
+        """Decode every intact record; corruption is reported, not fatal."""
+        out = Replay()
+        if not os.path.exists(self.path):
+            out.next_seq = 0
+            return out
+        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
+            raw = fh.read()
+        lines = raw.split("\n")
+        # A crash mid-append leaves a final line without its newline;
+        # splitting gives it as the last element (or "" after a clean
+        # append).  Treat an incomplete final line as a truncated tail.
+        for lineno, line in enumerate(lines, start=1):
+            if line == "":
+                continue
+            truncated_tail = (lineno == len(lines) and not raw.endswith("\n"))
+            try:
+                out.records.append(_decode(line))
+            except (ValueError, json.JSONDecodeError) as exc:
+                reason = "truncated tail" if truncated_tail else str(exc)
+                out.corrupt.append((lineno, reason))
+        out.next_seq = (max((r["seq"] for r in out.records), default=-1) + 1)
+        return out

@@ -33,8 +33,9 @@ in-process state, so its presence still forces the serial path.
 from __future__ import annotations
 
 import multiprocessing
+import traceback
 
-from repro.errors import ReproError
+from repro.errors import ReproError, WorkerCrashError
 from repro.harness.core import config_name
 
 #: Matches ``repro.faults.resilience.DEFAULT_ITERATION_BUDGET``
@@ -75,7 +76,20 @@ def _shard_worker(payload):
     ``kind`` is ``"result"`` (RunResult + optional RaceReport + plugin
     payloads), ``"failure"`` (FailureReport + plugin payloads) or
     ``"skip"`` (quarantined round).
+
+    An unexpected exception inside the worker (a plugin bug, a host
+    error — anything the resilience layer doesn't fold into a
+    FailureReport) is returned as ``(records_so_far, traceback_text)``
+    so the parent can raise a :class:`~repro.errors.WorkerCrashError`
+    carrying the worker's real stack instead of a bare pool error.
     """
+    try:
+        return _shard_worker_inner(payload), None
+    except Exception:
+        return None, traceback.format_exc()
+
+
+def _shard_worker_inner(payload):
     from repro.faults.resilience import ResilientRunner
 
     (indexed_benches, plans, kwargs, repeat, quarantined, plugins) = payload
@@ -175,13 +189,30 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
         ctx = multiprocessing.get_context("fork")
     except ValueError:                              # pragma: no cover
         ctx = multiprocessing.get_context("spawn")
+    # Context-manager discipline: ``with`` terminates the pool on every
+    # exit path (a worker crash must not leak processes), and ``join``
+    # in the normal path reaps the workers before we touch the records.
     with ctx.Pool(processes=jobs) as pool:
-        shard_records = pool.map(_shard_worker, shards)
+        try:
+            shard_results = pool.map(_shard_worker, shards)
+        except Exception as exc:
+            # The pool machinery itself failed (e.g. a worker died so
+            # hard it couldn't even return its traceback).
+            raise WorkerCrashError(
+                f"suite {suite_name}: shard worker pool failed: {exc}",
+                worker_traceback=traceback.format_exc()) from exc
+        pool.close()
+        pool.join()
+    for shard_records, worker_tb in shard_results:
+        if worker_tb is not None:
+            raise WorkerCrashError(
+                f"suite {suite_name}: shard worker raised:\n{worker_tb}",
+                worker_traceback=worker_tb)
 
     # Stitch shards back into serial iteration order: round-major,
     # registry order within each round — the exact order the serial
     # sweep appends to its result lists.
-    records = [r for shard in shard_records for r in shard]
+    records = [r for shard, _ in shard_results for r in shard]
     records.sort(key=lambda r: (r[1], r[0]))
     first_error = None
     for record in records:

@@ -47,12 +47,23 @@ class MergeablePlugin(HarnessPlugin):
     serial sweep order (round-major, registry order), so the parent
     plugin ends up byte-identical to a serial sweep's.
 
+    Durable sweeps (:mod:`repro.harness.durable`) lean on the same
+    protocol one level harder: each unit's snapshot payloads are
+    *persisted* into the content-addressed result store alongside the
+    RunResult, so after a crash ``--resume`` absorbs the payloads of
+    already-completed units straight from disk — trace recordings and
+    metrics histories survive the crash and merge byte-identically.
+    Execution always happens on pickled clones of the caller's plugin
+    instances; the originals only ever absorb, in serial sweep order.
+
     Contract: :meth:`snapshot_run` returns a picklable payload covering
     exactly the runs since the previous snapshot (and resets that
     per-run state); :meth:`absorb_run` folds one payload in, and the
     fold must depend only on payload order — never on which worker
-    produced it.  Plugins that cannot express their state this way stay
-    plain :class:`HarnessPlugin`\\ s and force the serial path.
+    produced it (nor on whether it took a detour through the store).
+    Plugins that cannot express their state this way stay plain
+    :class:`HarnessPlugin`\\ s, force the serial path, and are rejected
+    by durable sweeps.
     """
 
     def snapshot_run(self):

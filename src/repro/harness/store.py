@@ -1,0 +1,101 @@
+"""Content-addressed, checksummed result store for durable sweeps.
+
+Determinism makes every completed unit cacheable forever: the outcome of
+one ``(suite, benchmark, config, seed, round, engine)`` unit is a pure
+function of its key, so the store files it under the SHA-256 of the
+canonical-JSON key.  ``--resume`` (and, later, the
+benchmark-as-a-service cache) then serves completed units straight from
+disk instead of re-running them.
+
+Object layout: ``<root>/objects/<aa>/<digest>`` where ``aa`` is the
+first two hex digits (git-style fan-out).  Each object is::
+
+    sha256-hex-of-payload \\n payload-bytes
+
+The embedded checksum catches torn writes and bit rot: a payload that
+fails verification is treated as *absent* (and unlinked), which simply
+re-runs the unit — corruption is never fatal and never silently served.
+Writes are atomic (temp file + ``os.replace``) so a ``kill -9``
+mid-``put`` can never leave a half object under the final name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+
+
+def canonical_digest(key: dict) -> str:
+    """SHA-256 of the canonical JSON encoding of a unit key."""
+    body = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def encode_outcome(outcome: dict) -> bytes:
+    return pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_outcome(payload: bytes) -> dict:
+    return pickle.loads(payload)
+
+
+class ResultStore:
+    """Checksummed object store keyed by unit digest."""
+
+    def __init__(self, root) -> None:
+        self.root = str(root)
+        self.objects = os.path.join(self.root, "objects")
+        #: Corrupt objects encountered by :meth:`get` (digest, reason).
+        self.corrupt: list[tuple[str, str]] = []
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.objects, digest[:2], digest)
+
+    # ------------------------------------------------------------------
+    def put(self, digest: str, payload: bytes) -> str:
+        """Atomically store ``payload`` under ``digest``; returns path."""
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        header = hashlib.sha256(payload).hexdigest().encode() + b"\n"
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(payload)
+            fh.flush()
+        os.replace(tmp, path)
+        return path
+
+    def get(self, digest: str) -> bytes | None:
+        """Verified payload bytes, or None if absent/corrupt.
+
+        A corrupt object is recorded in :attr:`corrupt` and unlinked so
+        the unit re-runs and the next ``put`` rewrites it cleanly.
+        """
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                header = fh.readline().strip()
+                payload = fh.read()
+        except OSError:
+            return None
+        if hashlib.sha256(payload).hexdigest().encode() != header:
+            self.corrupt.append((digest, "payload checksum mismatch"))
+            try:
+                os.unlink(path)
+            except OSError:                          # pragma: no cover
+                pass
+            return None
+        return payload
+
+    def __contains__(self, digest: str) -> bool:
+        return self.get(digest) is not None
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.objects):
+            return 0
+        return sum(
+            1 for fan in os.listdir(self.objects)
+            for name in os.listdir(os.path.join(self.objects, fan))
+            if not name.endswith(".tmp"))
