@@ -21,15 +21,22 @@ sanitize:
 durable:
 	PYTHONPATH=src python -m pytest -q -m "durable or not chaos" tests/test_durable.py -s
 
-# Self-benchmark: time the simulator itself (reference vs threaded
-# engine) over a fixed workload slice and (re)write the committed
-# BENCH_interpreter.json baseline.
+# Tier-1 engine focus: the superblock-engine test suite plus the
+# selfbench check that gates tier1 at ≥2.5x threaded ops/sec.
+tier1:
+	PYTHONPATH=src python -m pytest -q tests/test_tier1.py
+	python benchmarks/selfbench.py --check
+
+# Self-benchmark: time the simulator itself (reference, threaded and
+# tier-1 engines) over a fixed workload slice and (re)write the
+# committed BENCH_interpreter.json baseline.
 bench:
 	python benchmarks/selfbench.py
 
 # Tier-2: fail if threaded-engine ops/sec regressed >10% against the
 # committed BENCH_interpreter.json baseline, or if the flight recorder
-# blew its overhead budget (disabled ≤2%, enabled ≤15%).  Never gates
+# blew its overhead budget (disabled ≤5%, enabled ≤15%), or if the
+# tier-1 engine fell below 2.5x threaded ops/sec.  Never gates
 # tier-1 (host timing is machine-dependent).
 bench-check:
 	python benchmarks/selfbench.py --check
@@ -43,4 +50,4 @@ trace:
 		--out .trace-out --warmup 1 --measure 1
 	@ls -l .trace-out
 
-.PHONY: test chaos sanitize bench bench-check trace
+.PHONY: test chaos sanitize tier1 bench bench-check trace

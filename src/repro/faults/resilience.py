@@ -65,7 +65,7 @@ class ResilientRunner:
                  faults: FaultPlan | None = None,
                  iteration_budget: int | None = DEFAULT_ITERATION_BUDGET,
                  max_retries: int = 2, reseed_stride: int = 1_000_003,
-                 sanitize=None) -> None:
+                 sanitize=None, engine: str = "threaded") -> None:
         self.benchmark = benchmark
         self.jit = jit
         self.cores = cores
@@ -76,6 +76,7 @@ class ResilientRunner:
         self.max_retries = max_retries
         self.reseed_stride = reseed_stride
         self.sanitize = sanitize
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def run(self, warmup: int | None = None,
@@ -90,7 +91,7 @@ class ResilientRunner:
                 bench, jit=self.jit, cores=self.cores, schedule_seed=seed,
                 plugins=self.plugins, faults=self.faults,
                 iteration_budget=self.iteration_budget,
-                sanitize=self.sanitize)
+                sanitize=self.sanitize, engine=self.engine)
             try:
                 result = runner.run(warmup=warmup, measure=measure)
             except ReproError as exc:
@@ -258,6 +259,23 @@ class SuiteResult:
             "skipped": list(self.skipped),
             "races": len(self.racy),
             "durable": dict(self.durable) if self.durable else None,
+            "tier1": self.tier1_summary(),
+        }
+
+    def tier1_summary(self) -> dict | None:
+        """Aggregate host tier-1 stats across results; None off-tier."""
+        snaps = [r.tier1 for r in self.results if r.tier1 is not None]
+        if not snaps:
+            return None
+        deopts: dict[str, int] = {}
+        for snap in snaps:
+            for reason, count in snap["deopts"].items():
+                deopts[reason] = deopts.get(reason, 0) + count
+        return {
+            "promotions": sum(s["promotions"] for s in snaps),
+            "compiled_blocks": sum(s["compiled_blocks"] for s in snaps),
+            "compile_cycles": sum(s["compile_cycles"] for s in snaps),
+            "deopts": deopts,
         }
 
 
@@ -270,7 +288,7 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
               plugins: tuple = (), sanitize=None,
               jobs: int | None = None,
               durable_dir=None, resume: bool = False,
-              durable_policy=None) -> SuiteResult:
+              durable_policy=None, engine: str = "threaded") -> SuiteResult:
     """Run every benchmark of ``suite``, surviving individual failures.
 
     ``suite`` is a registry suite name or an iterable of
@@ -299,7 +317,7 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
             continue_on_error=continue_on_error, faults=faults,
             iteration_budget=iteration_budget, max_retries=max_retries,
             repeat=repeat, quarantine=quarantine, plugins=plugins,
-            sanitize=sanitize)
+            sanitize=sanitize, engine=engine)
     if jobs is not None and jobs > 1:
         from repro.harness.parallel import run_suite_parallel
 
@@ -309,7 +327,7 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
             continue_on_error=continue_on_error, faults=faults,
             iteration_budget=iteration_budget, max_retries=max_retries,
             repeat=repeat, quarantine=quarantine, plugins=plugins,
-            sanitize=sanitize)
+            sanitize=sanitize, engine=engine)
     if isinstance(suite, str):
         from repro.suites.registry import benchmarks_of
         benches = benchmarks_of(suite)
@@ -334,7 +352,7 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
                 bench, jit=jit, cores=cores, schedule_seed=schedule_seed,
                 plugins=plugins, faults=plan_of[bench.name],
                 iteration_budget=iteration_budget, max_retries=max_retries,
-                sanitize=sanitize)
+                sanitize=sanitize, engine=engine)
             outcome = runner.run(warmup=warmup, measure=measure)
             if outcome.ok:
                 out.results.append(outcome.result)

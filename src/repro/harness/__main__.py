@@ -91,6 +91,11 @@ def main(argv=None) -> int:
                         help="worker processes (1 = serial, the default)")
     parser.add_argument("--jit", default="graal",
                         help='"graal", "c2" or "none" (interpreter only)')
+    parser.add_argument("--engine", default="threaded",
+                        choices=("reference", "threaded", "tier1"),
+                        help="host execution engine (byte-identical "
+                             "results; tier1 compiles hot methods to "
+                             "superblock closures)")
     parser.add_argument("--cores", type=int, default=8,
                         help="simulated cores per VM")
     parser.add_argument("--seed", type=int, default=0,
@@ -145,7 +150,8 @@ def main(argv=None) -> int:
             measure=args.measure, repeat=args.repeat,
             plugins=tuple(plugins),
             sanitize=True if args.sanitize else None,
-            durable_dir=durable_dir, resume=args.resume is not None)
+            durable_dir=durable_dir, resume=args.resume is not None,
+            engine=args.engine)
     except SweepInterrupted as exc:
         print(f"INTERRUPTED: {exc}", file=sys.stderr)
         return EXIT_INTERRUPTED
@@ -167,6 +173,12 @@ def main(argv=None) -> int:
               f"{d['served_from_store']} served from store, "
               f"{d['respawns']} respawns "
               f"({spec_label} -> {durable_dir})")
+    tier1 = suite.tier1_summary()
+    if tier1:
+        deopts = sum(tier1["deopts"].values())
+        print(f"tier1: {tier1['promotions']} promotions, "
+              f"{tier1['compiled_blocks']} superblocks, {deopts} deopts, "
+              f"{tier1['compile_cycles']} compile cycles")
     print(f"host wall time: {host_seconds:.2f}s (jobs={args.jobs})")
 
     code = exit_code(suite)

@@ -111,6 +111,7 @@ class RunResult:
     cpu: float = 0.0
     vm: object = None
     trace: object = None      # summary dict set by repro.trace.TracePlugin
+    tier1: object = None      # host tier-1 snapshot when engine="tier1"
 
     @property
     def mean_wall(self) -> float:
@@ -138,7 +139,10 @@ class RunResult:
         config, seed) unit fingerprint identically, whether they ran
         serially, in a shard, or were resumed from the durable store;
         ``tests/test_durable.py`` leans on this for its byte-identity
-        assertions.
+        assertions.  The host execution engine and its ``tier1``
+        snapshot are deliberately excluded: a unit must fingerprint
+        the same under every engine, which is exactly the tier ladder's
+        byte-identity contract (DESIGN.md §11).
         """
         import hashlib
         import json
@@ -197,15 +201,22 @@ class Runner:
     interpreter-only (the JIT's machine code has no access hooks), and
     the race report of the latest run hangs off
     ``runner.sanitize_plugin.report``.
+
+    ``engine`` selects the host execution engine — ``"threaded"`` (the
+    default), ``"reference"`` (the oracle) or ``"tier1"`` (superblock
+    closures with deopt fallback).  The choice is pure host-side speed:
+    counters, schedules, results and fingerprints are byte-identical
+    across engines.
     """
 
     def __init__(self, benchmark: GuestBenchmark, *, jit="graal",
                  cores: int = 8, schedule_seed: int = 0,
                  plugins: tuple = (), faults=None,
                  iteration_budget: int | None = None,
-                 sanitize=None) -> None:
+                 sanitize=None, engine: str = "threaded") -> None:
         self.benchmark = benchmark
         self.jit = jit
+        self.engine = engine
         self.cores = cores
         self.schedule_seed = schedule_seed
         self.plugins = list(plugins)
@@ -235,7 +246,8 @@ class Runner:
         warmup = bench.warmup if warmup is None else warmup
         measure = bench.measure if measure is None else measure
         vm = VM(jit=self.jit, cores=self.cores,
-                schedule_seed=self.schedule_seed, faults=self.faults)
+                schedule_seed=self.schedule_seed, faults=self.faults,
+                engine=self.engine)
         self.last_vm = vm
         self.last_injector = vm.faults
         vm.load(bench.compile())
@@ -253,6 +265,9 @@ class Runner:
             self._iteration(vm, bench, result, i, warmup=False)
         result.counters = vm.counters.diff(steady_before)
         result.cpu = vm.interval_stats(timing_before)["cpu"]
+        snapshot = getattr(vm.interpreter, "tier1_snapshot", None)
+        if snapshot is not None:
+            result.tier1 = snapshot()
 
         for plugin in self.plugins:
             plugin.after_run(vm, bench, result)

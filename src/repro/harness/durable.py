@@ -174,7 +174,10 @@ def _config_fingerprint(kwargs: dict, faults, plugins: tuple) -> dict:
         "max_retries": kwargs["max_retries"],
         "sanitize": _sanitize_fp(kwargs["sanitize"]),
         "faults": _faults_fp(faults),
-        "engine": "default",
+        # The host engine is part of the unit identity on purpose: even
+        # though engines are byte-identical, serving a tier1-run unit to
+        # a reference resume would silently mask an identity bug.
+        "engine": kwargs.get("engine", "threaded"),
     }
     return json.loads(json.dumps(fingerprint, sort_keys=True))
 
@@ -225,7 +228,8 @@ def execute_unit(unit: SweepUnit, kwargs: dict, plan, plugins: tuple,
             unit.benchmark, jit=kwargs["jit"], cores=kwargs["cores"],
             schedule_seed=kwargs["schedule_seed"], plugins=plugins,
             faults=plan, iteration_budget=kwargs["iteration_budget"],
-            max_retries=kwargs["max_retries"], sanitize=kwargs["sanitize"])
+            max_retries=kwargs["max_retries"], sanitize=kwargs["sanitize"],
+            engine=kwargs.get("engine", "threaded"))
 
     def _run():
         state["outcome"] = state["runner"].run(
@@ -372,7 +376,7 @@ class DurableSweep:
                  continue_on_error: bool = True, faults=None,
                  iteration_budget=_BUDGET_DEFAULT, max_retries: int = 2,
                  repeat: int = 1, quarantine=None, plugins: tuple = (),
-                 sanitize=None) -> None:
+                 sanitize=None, engine: str = "threaded") -> None:
         from repro.faults.resilience import DEFAULT_ITERATION_BUDGET
         from repro.harness.plugins import MergeablePlugin
 
@@ -397,7 +401,7 @@ class DurableSweep:
             jit=jit, cores=cores, schedule_seed=schedule_seed,
             warmup=warmup, measure=measure,
             iteration_budget=iteration_budget, max_retries=max_retries,
-            sanitize=sanitize)
+            sanitize=sanitize, engine=engine)
         self.continue_on_error = continue_on_error
         self.repeat = repeat
         self.quarantine = quarantine

@@ -106,7 +106,8 @@ def _shard_worker_inner(payload):
                 plugins=plugins, faults=plans[bench.name],
                 iteration_budget=kwargs["iteration_budget"],
                 max_retries=kwargs["max_retries"],
-                sanitize=kwargs["sanitize"])
+                sanitize=kwargs["sanitize"],
+                engine=kwargs.get("engine", "threaded"))
             outcome = runner.run(warmup=kwargs["warmup"],
                                  measure=kwargs["measure"])
             payloads = tuple(p.snapshot_run() for p in plugins)
@@ -130,7 +131,8 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
                        iteration_budget=_BUDGET_DEFAULT,
                        max_retries: int = 2, repeat: int = 1,
                        quarantine=None,
-                       plugins: tuple = (), sanitize=None):
+                       plugins: tuple = (), sanitize=None,
+                       engine: str = "threaded"):
     """:func:`~repro.faults.resilience.run_suite` across worker processes.
 
     ``jobs`` is the worker-process count (``None``/``1`` = serial,
@@ -153,7 +155,7 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
         measure=measure, continue_on_error=continue_on_error, faults=faults,
         iteration_budget=iteration_budget, max_retries=max_retries,
         repeat=repeat, quarantine=quarantine, plugins=plugins,
-        sanitize=sanitize)
+        sanitize=sanitize, engine=engine)
     if jobs is None or jobs <= 1 or not _forkable(sanitize) \
             or (plugins and not _plugins_mergeable(plugins)):
         return run_suite(suite, **serial_kwargs)
@@ -176,7 +178,8 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
     kwargs = dict(jit=jit, cores=cores, schedule_seed=schedule_seed,
                   warmup=warmup, measure=measure,
                   iteration_budget=iteration_budget,
-                  max_retries=max_retries, sanitize=sanitize)
+                  max_retries=max_retries, sanitize=sanitize,
+                  engine=engine)
     plugins = tuple(plugins)
     jobs = min(jobs, len(benches))
     shards = [

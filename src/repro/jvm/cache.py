@@ -41,11 +41,17 @@ class CacheModel:
     def access(self, core: int, word_addr: int) -> int:
         """Simulate an access; returns the added latency penalty in cycles."""
         line = word_addr // WORDS_PER_LINE
-        l1 = self.l1_tags[core]
-        idx1 = line % L1_LINES
-        if l1[idx1] == line:
+        if self.l1_tags[core][line % L1_LINES] == line:
             return 0
-        l1[idx1] = line
+        return self.miss(core, line)
+
+    def miss(self, core: int, line: int) -> int:
+        """L1-miss slow path (tag ``line`` absent from ``core``'s L1).
+
+        Split out of :meth:`access` so the tier-1 emitter can inline the
+        hit check (a single list compare) and only pay a call on a miss.
+        """
+        self.l1_tags[core][line % L1_LINES] = line
         self.l1_misses += 1
         if self.counters is not None:
             self.counters.cachemiss += 1
@@ -68,3 +74,67 @@ class CacheModel:
         self.llc_tags = [-1] * LLC_LINES
         self.l1_misses = 0
         self.llc_misses = 0
+
+
+class CompiledMethodCache:
+    """Engine-aware cache of host-compiled guest method bodies.
+
+    Keys are ``(tier, method)``, never the bare method: a tier-1
+    superblock closure served to a ``VM(engine="reference")`` or
+    threaded run would execute with batched accounting the other tiers
+    don't perform, so a lookup for one tier can never observe another
+    tier's artifact.  :meth:`cache_info` mirrors the threaded engine's
+    translation-cache statistics (``size``/``hits``/``misses``/
+    ``hit_rate``/``invalidations``) so both compiled-code caches are
+    inspectable through the same shape.
+    """
+
+    __slots__ = ("_store", "hits", "misses", "invalidations")
+
+    def __init__(self) -> None:
+        self._store: dict = {}          # (tier, JMethod) -> code object
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def lookup(self, tier: str, method):
+        code = self._store.get((tier, method))
+        if code is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return code
+
+    def install(self, tier: str, method, code) -> None:
+        self._store[(tier, method)] = code
+
+    def invalidate(self, tier: str | None = None, method=None) -> int:
+        """Drop entries; returns how many were removed.
+
+        ``invalidate(tier, method)`` drops one method's code,
+        ``invalidate(tier)`` drops everything that tier compiled, and
+        ``invalidate()`` empties the cache.
+        """
+        if tier is not None and method is not None:
+            dropped = 1 if self._store.pop((tier, method), None) is not None \
+                else 0
+        elif tier is not None:
+            keys = [k for k in self._store if k[0] == tier]
+            for key in keys:
+                del self._store[key]
+            dropped = len(keys)
+        else:
+            dropped = len(self._store)
+            self._store.clear()
+        self.invalidations += dropped
+        return dropped
+
+    def cache_info(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "size": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "invalidations": self.invalidations,
+        }

@@ -29,6 +29,14 @@ LLC_MISS_PENALTY = 40
 # Cost of taking a deoptimization (state transfer + interpreter re-entry).
 DEOPT_COST = 400
 
+# Simulated compile "time" of the host tier-1 engine (repro.jit.emit),
+# reported per promotion through the tier metrics.  These cycles are
+# bookkeeping only — they are never charged to a thread's budget or to
+# reference_cycles, because the reference interpreter has no host tiers
+# and the tier ladder must stay byte-identical to it.
+TIER1_COMPILE_SITE_COST = 40     # per emitted instruction site
+TIER1_COMPILE_BLOCK_COST = 200   # per superblock (region setup/exits)
+
 # Baseline per-operation cycle costs.
 BASE_COST: dict[Op, int] = {
     Op.CONST: 1,

@@ -185,7 +185,17 @@ class ThreadedInterpreter:
         return here; the VM executor loop re-dispatches on the new top
         frame.
         """
-        handlers = self.translation(frame.method).handlers
+        self.execute(thread, frame, self.translation(frame.method).handlers)
+
+    def execute(self, thread, frame, handlers) -> None:
+        """Dispatch loop over a per-pc handler table.
+
+        Also the tier-1 engine's OSR entry/exit point: after a deopt or
+        a mid-block budget boundary, the tier-1 driver resumes the frame
+        here at the exact bytecode index — ``frame.pc`` can land on any
+        instruction, and every handler carries the full reference
+        semantics, so re-entry anywhere is safe.
+        """
         stack = frame.stack
         locals_ = frame.locals
         while thread.budget > 0:

@@ -1,0 +1,242 @@
+"""Tier-1 engine: threaded tier-0 plus compiled superblock closures.
+
+The tier ladder (DESIGN.md §11):
+
+- **reference** — the ``elif`` interpreter, the byte-identical oracle;
+- **threaded** — per-pc handler closures with quickening and fusion
+  (:mod:`repro.jvm.threaded`, ~4.4x);
+- **tier1** (this module) — hot methods are additionally compiled by
+  :mod:`repro.jit.emit` into one Python function per superblock, with
+  no per-op dispatch and counter/cost accounting batched per block.
+
+Promotion reads the invocation counters the VM already maintains for
+the *guest* JIT's hotness policy (``method.invocation_count``, bumped
+by ``VM.call``); the engine never mutates guest-visible state, so the
+decision is a pure host-side optimization.  The driver merges the
+compiled block entries with the method's threaded handler table:
+any pc that is a block leader runs compiled, every other pc — an OSR
+resume mid-block after a budget boundary, a monitor wake-up, or an
+opcode the emitter bails on (invokes, monitors, atomics, park/wait) —
+runs its threaded handler, re-entering compiled code at the next
+leader.  A guard failure inside a block (forced trap, injected fault)
+deopts through :func:`repro.jit.deopt.tier1_deopt` back to the threaded
+tier at the exact bytecode index with the operand stack reconstructed.
+
+Compiled artifacts live in an engine-keyed
+:class:`~repro.jvm.cache.CompiledMethodCache` — keys are
+``("tier1", method)``, so a reference or threaded run can never be
+served a superblock body.  All tier bookkeeping (promotions, block
+counts, deopt reasons, simulated compile cycles) is host-side state on
+:class:`Tier1Stats`, never on :class:`~repro.jvm.counters.Counters`:
+counters, schedules, RaceReports and trace recordings stay
+byte-identical across all three engines.
+
+When a sanitizer attaches, promotion is disabled and compiled code is
+dropped: emitted blocks carry no access hooks, and checked runs take
+the threaded tier whose handlers bind the sanitizer at translation
+time.  RaceReport equivalence across engines is therefore structural.
+"""
+
+from __future__ import annotations
+
+from repro.jit.deopt import Tier1Deopt
+from repro.jit.emit import compile_method
+from repro.jvm.cache import CompiledMethodCache
+from repro.jvm.interpreter import Frame
+from repro.jvm.scheduler import RUNNABLE
+from repro.jvm.threaded import ThreadedInterpreter
+
+#: Invocations before a method is promoted to superblock closures.
+#: Deliberately below the guest JIT's compile threshold (32): the host
+#: tier should already be fast by the time the simulated tier kicks in.
+TIER1_THRESHOLD = 16
+
+
+class Tier1Stats:
+    """Host-side tier metrics (kept off the byte-identical Counters)."""
+
+    __slots__ = ("promotions", "blocks", "sites", "compile_cycles",
+                 "deopts", "methods")
+
+    def __init__(self) -> None:
+        self.promotions = 0
+        self.blocks = 0               # superblocks currently emitted
+        self.sites = 0                # instruction sites emitted
+        self.compile_cycles = 0       # simulated-clock compile "time"
+        self.deopts = {"budget": 0, "exception": 0, "fault": 0,
+                       "forced": 0}
+        self.methods: dict = {}       # qualified -> per-method record
+
+    def snapshot(self) -> dict:
+        return {
+            "promotions": self.promotions,
+            "compiled_blocks": self.blocks,
+            "compiled_sites": self.sites,
+            "compile_cycles": self.compile_cycles,
+            "deopts": dict(self.deopts),
+            "methods": {name: dict(rec)
+                        for name, rec in sorted(self.methods.items())},
+        }
+
+
+class Tier1Interpreter(ThreadedInterpreter):
+    """Executes interpreted frames: threaded tier-0 + tier-1 closures."""
+
+    tier = "tier1"
+
+    def __init__(self, vm, *, threshold: int = TIER1_THRESHOLD) -> None:
+        super().__init__(vm)
+        self.threshold = threshold
+        self.code_cache = CompiledMethodCache()
+        self.stats = Tier1Stats()
+        self._promotable = True
+        self._failed: set = set()     # methods the emitter declined
+        self._forced: dict = {}       # JMethod -> one-shot deopt trap pc
+        # Hot-path memo: method -> merged dispatch table.  A plain dict
+        # keyed by the method object alone; the engine-keyed code cache
+        # stays authoritative, this only skips its tuple-key lookup on
+        # every frame entry (one per guest call/return).
+        self._dispatch: dict = {}
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run_frame(self, thread, frame) -> None:
+        # Folds VM._execute_slice's inner loop: drive interpreted frames
+        # across guest calls/returns until the slice ends, the thread
+        # blocks, or a machine frame (guest-JIT compiled) lands on top.
+        # The exit conditions mirror _execute_slice exactly, so folding
+        # them here only removes the per-call round-trip through the
+        # outer loop — host control flow, never guest-visible.
+        frames = thread.frames
+        memo = self._dispatch
+        while True:
+            method = frame.method
+            dispatch = memo.get(method)
+            if dispatch is None:
+                code = None
+                if (self._promotable
+                        and method not in self._failed
+                        and method.invocation_count >= self.threshold
+                        and self.vm.sanitizer is None):
+                    code = (self.code_cache.lookup(self.tier, method)
+                            or self._promote(method))
+                if code is None:
+                    self.execute(
+                        thread, frame, self.translation(method).handlers)
+                else:
+                    dispatch = memo[method] = code.dispatch
+            if dispatch is not None:
+                stack = frame.stack
+                locals_ = frame.locals
+                try:
+                    while thread.budget > 0:
+                        if not dispatch[frame.pc](
+                                thread, frame, stack, locals_):
+                            break
+                except Tier1Deopt:
+                    # The block flushed counters/budget and rebuilt the
+                    # operand stack at the exact bytecode index; finish
+                    # the slice on the threaded tier (the method's
+                    # tier-1 code is invalidated).
+                    self.execute(
+                        thread, frame, self.translation(method).handlers)
+            if thread.budget <= 0 or thread.state != RUNNABLE or not frames:
+                return
+            top = frames[-1]
+            if type(top) is not Frame:
+                return
+            frame = top
+
+    # ------------------------------------------------------------------
+    # Promotion.
+    # ------------------------------------------------------------------
+    def _promote(self, method):
+        if method.code is None:
+            self._failed.add(method)
+            return None
+        handlers = self.translation(method).handlers
+        forced = self._forced.pop(method, None)
+        try:
+            code = compile_method(self, method, deopt_at=forced)
+        except Exception:
+            code = None
+        if code is None:
+            self._failed.add(method)
+            return None
+        # Merge: block leaders run compiled, everything else (OSR
+        # resume points, bail opcodes) dispatches its threaded handler.
+        code.dispatch = [entry if entry is not None else handler
+                         for entry, handler in zip(code.entries, handlers)]
+        self.code_cache.install(self.tier, method, code)
+        stats = self.stats
+        stats.promotions += 1
+        stats.blocks += code.nblocks
+        stats.sites += code.sites
+        stats.compile_cycles += code.compile_cycles
+        record = stats.methods.setdefault(
+            method.qualified, {"promotions": 0, "blocks": 0, "sites": 0,
+                               "compile_cycles": 0})
+        record["promotions"] += 1
+        record["blocks"] = code.nblocks
+        record["sites"] = code.sites
+        record["compile_cycles"] += code.compile_cycles
+        return code
+
+    def force_deopt(self, method, pc: int) -> None:
+        """Plant a one-shot deopt trap before bytecode ``pc``.
+
+        The next promotion of ``method`` compiles with the trap; hitting
+        it deopts to the threaded tier and invalidates the code, and the
+        promotion after that compiles clean.  Used by the fuzz suite to
+        prove deopt-at-every-index byte-identity.
+        """
+        self._forced[method] = pc
+        self.drop_code(method)
+
+    def drop_code(self, method) -> None:
+        """Forget ``method``'s tier-1 code (dispatch memo + code cache)."""
+        self._dispatch.pop(method, None)
+        self.code_cache.invalidate(self.tier, method)
+
+    # ------------------------------------------------------------------
+    # Introspection and invalidation.
+    # ------------------------------------------------------------------
+    def tier1_snapshot(self) -> dict:
+        """JSON-able tier metrics (promotions, blocks, deopt reasons)."""
+        return self.stats.snapshot()
+
+    def tier1_metrics(self) -> dict:
+        """Flat scalar metrics for the repro.metrics export."""
+        stats = self.stats
+        return {
+            "tier1_promotions": stats.promotions,
+            "tier1_compiled_blocks": stats.blocks,
+            "tier1_deopts": sum(stats.deopts.values()),
+            "tier1_compile_cycles": stats.compile_cycles,
+        }
+
+    def cache_info(self) -> dict:
+        """Translation-cache stats plus the tier-1 code cache's."""
+        info = super().cache_info()
+        info["tier1"] = self.code_cache.cache_info()
+        return info
+
+    def invalidate_all(self) -> int:
+        dropped = super().invalidate_all()
+        self._dispatch.clear()
+        self.code_cache.invalidate(self.tier)
+        return dropped
+
+    def on_sanitizer_attached(self) -> None:
+        """Emitted blocks have no access hooks: stop promoting, drop
+        compiled code, and retranslate the threaded tier (which binds
+        the sanitizer per handler)."""
+        self._promotable = False
+        super().on_sanitizer_attached()   # invalidate_all drops tier1 too
+
+    def requicken(self, method) -> bool:
+        """Also drops the method's tier-1 code: its merged dispatch
+        table snapshots the threaded handlers being thrown away."""
+        self.drop_code(method)
+        return super().requicken(method)

@@ -25,6 +25,14 @@ METRIC_NAMES = (
 #: All zero unless a recorder is attached.
 TRACE_METRIC_NAMES = ("trace_events", "trace_dropped", "trace_samples")
 
+#: Host tier-1 engine counters (repro.jvm.tier1): method promotions,
+#: emitted superblocks, deopts by any reason, and simulated compile
+#: cycles.  All zero unless the run used ``engine="tier1"``.  These are
+#: host-side bookkeeping, not guest counters — they never participate
+#: in the byte-identity contract.
+TIER1_METRIC_NAMES = ("tier1_promotions", "tier1_compiled_blocks",
+                      "tier1_deopts", "tier1_compile_cycles")
+
 #: Sanitizer counters exported from checked runs (repro.sanitize), for
 #: Table-7-style per-benchmark tables.  ``mean_lockset`` is derived:
 #: average number of monitors held at each acquisition.
@@ -71,6 +79,10 @@ class MetricsPlugin(MergeablePlugin):
         self.raw["cpu"] = interval["cpu"] * 100.0
         for name in TRACE_METRIC_NAMES:
             self.raw[name] = delta.get(name, 0)
+        tier1 = getattr(vm.interpreter, "tier1_metrics", None)
+        tier1 = tier1() if tier1 is not None else {}
+        for name in TIER1_METRIC_NAMES:
+            self.raw[name] = tier1.get(name, 0)
         self.reference_cycles = delta.get("reference_cycles", 0)
         self.per_run.append((benchmark.name, dict(self.raw)))
         self._pending.append(

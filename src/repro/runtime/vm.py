@@ -73,14 +73,20 @@ class VM:
         self.cache = CacheModel(cores, self.counters)
         self.scheduler = Scheduler(cores=cores, quantum=quantum, seed=schedule_seed)
         self.scheduler.executor = self._execute_slice
-        # Tier-0 execution engine.  "threaded" (default) is the
+        # Host execution engine.  "threaded" (default) is the
         # threaded-code engine (repro.jvm.threaded); "reference" is the
-        # original elif dispatcher, kept as the equivalence oracle.
-        # Both produce byte-identical counters and schedules.
+        # original elif dispatcher, kept as the equivalence oracle;
+        # "tier1" (opt-in) adds compiled superblock closures for hot
+        # methods on top of the threaded tier (repro.jvm.tier1).  All
+        # three produce byte-identical counters and schedules.
         if engine == "threaded":
             from repro.jvm.threaded import ThreadedInterpreter
 
             self.interpreter = ThreadedInterpreter(self)
+        elif engine == "tier1":
+            from repro.jvm.tier1 import Tier1Interpreter
+
+            self.interpreter = Tier1Interpreter(self)
         elif engine == "reference":
             self.interpreter = Interpreter(self)
         else:

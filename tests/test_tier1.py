@@ -1,0 +1,367 @@
+"""Golden equivalence: tier-1 superblock engine vs reference/threaded.
+
+The tier-1 engine (repro.jvm.tier1 + repro.jit.emit) compiles hot guest
+methods into Python superblock closures with batched counter/cost
+accounting.  Its contract is the same as the threaded engine's, one
+tier up: *byte-identical observable behavior* — results, counter
+snapshots, simulated clock, stdout, trace recordings, RaceReports —
+under any quantum, seed, JIT config, forced deopt, injected fault, and
+across serial vs sharded sweeps.  These tests pin that contract plus
+the promotion/deopt/invalidation mechanics and the engine-keyed
+compiled-code cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, ResilientRunner, run_suite
+from repro.harness.core import GuestBenchmark, Runner
+from repro.runtime import VM
+from repro.sanitize.plugin import build_report
+from repro.suites.registry import get_benchmark
+from tests.fixtures import (
+    GUARDED_BENCHMARK,
+    LOCK_CYCLE_BENCHMARK,
+    RACE_BENCHMARK,
+)
+
+#: Registry slice for engine-equivalence sweeps: one representative per
+#: concurrency archetype (strings, locks, fork-join, functional alloc).
+EQUIV_SLICE = ("scrabble", "philosophers", "fj-kmeans", "streams-mnemonics")
+
+FIXTURES = (RACE_BENCHMARK, GUARDED_BENCHMARK, LOCK_CYCLE_BENCHMARK)
+
+ENGINES = ("reference", "threaded", "tier1")
+
+#: Small two-method workload: ``step`` is called once per loop
+#: iteration, so it crosses the promotion threshold (16) inside a
+#: single invocation and is the natural forced-deopt target.
+HOT_SRC = """
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var i = 0;
+        while (i < n) { acc = acc + Bench.step(i); i = i + 1; }
+        return acc;
+    }
+    static def step(i) { return i * 2 + 1; }
+}
+"""
+
+
+def hot_bench(name: str, n: int = 40) -> GuestBenchmark:
+    return GuestBenchmark(name=name, suite="tests", source=HOT_SRC,
+                          args=(n,), expected=n * n, warmup=1, measure=1)
+
+
+def observe(bench, engine, *, jit=None, quantum=5000, cores=8, seed=0,
+            invocations=1, trace=None):
+    """Everything an engine run can observably produce."""
+    vm = VM(engine=engine, jit=jit, quantum=quantum, cores=cores,
+            schedule_seed=seed, trace=trace)
+    vm.load(bench.compile())
+    results = [vm.invoke(bench.entry, list(bench.args))
+               for _ in range(invocations)]
+    out = {
+        "results": results,
+        "counters": vm.counters.snapshot(),
+        "clock": vm.scheduler.clock,
+        "stdout": tuple(vm.stdout),
+    }
+    if trace is not None:
+        out["events"] = tuple(vm.trace.event_list())
+    return out, vm
+
+
+def assert_equivalent(bench, **kwargs):
+    ref, _ = observe(bench, "reference", **kwargs)
+    for engine in ("threaded", "tier1"):
+        got, _ = observe(bench, engine, **kwargs)
+        assert ref == got, {
+            k: (ref[k], got[k]) for k in ref if ref[k] != got[k]}
+
+
+# ----------------------------------------------------------------------
+# Three-way observable equivalence.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bench", FIXTURES, ids=lambda b: b.name)
+def test_fixtures_equivalent_interpreted(bench):
+    assert_equivalent(bench, invocations=2)
+
+
+@pytest.mark.parametrize("name", EQUIV_SLICE)
+def test_registry_equivalent_interpreted(name):
+    assert_equivalent(get_benchmark(name), invocations=2)
+
+
+@pytest.mark.parametrize("name", ("scrabble", "fj-kmeans"))
+def test_registry_equivalent_jitted(name):
+    # The guest JIT must see identical profiles (invocation counts,
+    # backedges, receiver types) no matter which host tier feeds them.
+    assert_equivalent(get_benchmark(name), jit="graal", invocations=3)
+
+
+@pytest.mark.parametrize("quantum", (37, 127, 1001))
+def test_budget_boundary_equivalence(quantum):
+    # Tiny quanta exhaust the slice budget *inside* superblocks: the
+    # folded per-block guard must OSR out with counters, budget and pc
+    # reference-identical, and resume mid-block on threaded handlers.
+    assert_equivalent(get_benchmark("philosophers"), quantum=quantum,
+                      cores=2, seed=7, invocations=2)
+
+
+def test_seed_sweep_equivalence():
+    for seed in (1, 42, 1_000_003):
+        assert_equivalent(RACE_BENCHMARK, seed=seed, cores=4,
+                          invocations=2)
+
+
+def test_trace_recordings_equivalent():
+    # The flight recorder is part of the byte-identity contract: the
+    # emitted blocks bind the recorder at compile time and must emit
+    # the same events in the same order.
+    ref, _ = observe(get_benchmark("philosophers"), "reference",
+                     trace=True, invocations=2)
+    for engine in ("threaded", "tier1"):
+        got, _ = observe(get_benchmark("philosophers"), engine,
+                         trace=True, invocations=2)
+        assert ref["events"] == got["events"]
+        assert ref["counters"] == got["counters"]
+
+
+# ----------------------------------------------------------------------
+# Sanitizer interaction.
+# ----------------------------------------------------------------------
+def checked_report_json(bench, engine):
+    vm = VM(engine=engine, jit=None, sanitize=True, schedule_seed=0)
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    return build_report(vm.sanitizer, vm, bench.name).to_json()
+
+
+@pytest.mark.parametrize("bench", FIXTURES, ids=lambda b: b.name)
+def test_race_reports_equivalent(bench):
+    ref = checked_report_json(bench, "reference")
+    assert checked_report_json(bench, "tier1") == ref
+
+
+def test_sanitizer_attach_drops_tier1_code_and_promotion():
+    from repro.sanitize.hb import RaceSanitizer
+
+    bench = hot_bench("sanattach")
+    vm = VM(engine="tier1", jit=None)
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    engine = vm.interpreter
+    assert engine.stats.promotions > 0
+    assert engine.cache_info()["tier1"]["size"] > 0
+
+    # Emitted blocks carry no access hooks; attaching a sanitizer must
+    # drop them all and disable further promotion.
+    RaceSanitizer().attach(vm)
+    assert engine.cache_info()["tier1"]["size"] == 0
+    promotions = engine.stats.promotions
+    assert vm.invoke(bench.entry, list(bench.args)) == bench.expected
+    assert engine.stats.promotions == promotions
+    assert engine.cache_info()["tier1"]["size"] == 0
+
+
+# ----------------------------------------------------------------------
+# Promotion, deopt and invalidation mechanics.
+# ----------------------------------------------------------------------
+def test_tier1_engine_selected_and_promotes():
+    from repro.jvm.tier1 import TIER1_THRESHOLD, Tier1Interpreter
+
+    bench = hot_bench("promote")
+    vm = VM(engine="tier1", jit=None)
+    assert isinstance(vm.interpreter, Tier1Interpreter)
+    assert vm.interpreter.threshold == TIER1_THRESHOLD
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    snap = vm.interpreter.tier1_snapshot()
+    assert snap["promotions"] > 0
+    assert snap["compiled_blocks"] > 0
+    assert snap["compiled_sites"] > 0
+    assert any(name.endswith("Bench.step") for name in snap["methods"])
+
+
+def test_forced_deopt_at_every_pc_is_byte_identical():
+    # Fuzz the deopt machinery: plant a one-shot trap before *every*
+    # bytecode index of the hot method.  Each trapped run must stay
+    # byte-identical to the reference — the block flushes batched
+    # accounting and rebuilds the operand stack at the exact index
+    # before handing the frame to the threaded tier.
+    bench = hot_bench("deoptfuzz")
+    ref, _ = observe(bench, "reference", invocations=2)
+    program = bench.compile()
+    probe = VM(engine="tier1", jit=None)
+    probe.load(program)
+    method = probe.resolve_static("Bench", "step")
+    fired = 0
+    for pc in range(len(method.code)):
+        vm = VM(engine="tier1", jit=None)
+        vm.load(bench.compile())
+        results = [vm.invoke(bench.entry, list(bench.args))]
+        target = vm.resolve_static("Bench", "step")
+        vm.interpreter.force_deopt(target, pc)
+        results.append(vm.invoke(bench.entry, list(bench.args)))
+        got = {
+            "results": results,
+            "counters": vm.counters.snapshot(),
+            "clock": vm.scheduler.clock,
+            "stdout": tuple(vm.stdout),
+        }
+        assert ref == got, f"deopt trap at pc {pc} diverged"
+        fired += vm.interpreter.stats.deopts["forced"]
+    assert fired > 0       # the traps actually triggered somewhere
+
+
+def test_forced_deopt_invalidates_then_recompiles_clean():
+    bench = hot_bench("deoptcycle")
+    vm = VM(engine="tier1", jit=None)
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    engine = vm.interpreter
+    method = vm.resolve_static("Bench", "step")
+    promotions = engine.stats.promotions
+    engine.force_deopt(method, 0)
+    assert engine.code_cache.lookup(engine.tier, method) is None
+    vm.invoke(bench.entry, list(bench.args))
+    assert engine.stats.deopts["forced"] >= 1
+    # Trap fired -> code dropped -> repromoted clean and reinstalled.
+    vm.invoke(bench.entry, list(bench.args))
+    assert engine.stats.promotions > promotions
+    assert engine.code_cache.lookup(engine.tier, method) is not None
+
+
+def test_requicken_drops_tier1_code():
+    bench = hot_bench("requicken")
+    vm = VM(engine="tier1", jit=None)
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    engine = vm.interpreter
+    method = vm.resolve_static("Bench", "step")
+    assert engine.code_cache.lookup(engine.tier, method) is not None
+    assert engine.requicken(method) is True
+    # The merged dispatch table snapshots threaded handlers, so it
+    # must not survive their invalidation.
+    assert engine.code_cache.lookup(engine.tier, method) is None
+    assert vm.invoke(bench.entry, list(bench.args)) == bench.expected
+
+
+# ----------------------------------------------------------------------
+# Faults and resilience.
+# ----------------------------------------------------------------------
+def test_injected_fault_deopts_cleanly():
+    # A fault raised inside VM.call from compiled code must unwind with
+    # the same observable failure the reference engine produces.
+    plan = FaultPlan.single("guest-exception", site="Bench.step", at=30,
+                            seed=7, message="boom")
+    bench = hot_bench("faultdeopt")
+    ref = ResilientRunner(bench, jit=None, faults=plan,
+                          engine="reference").run()
+    t1 = ResilientRunner(bench, jit=None, faults=plan,
+                         engine="tier1").run()
+    assert not ref.ok and not t1.ok
+    assert ref.failure.to_json() == t1.failure.to_json()
+
+
+def test_resilient_retry_on_tier1_matches_threaded():
+    plan = FaultPlan(seed=5, heap_limit_words=120_000)
+    bench = hot_bench("retry")
+    thr = ResilientRunner(bench, jit=None, faults=plan,
+                          engine="threaded").run()
+    t1 = ResilientRunner(bench, jit=None, faults=plan,
+                         engine="tier1").run()
+    assert (thr.ok, thr.retries) == (t1.ok, t1.retries)
+    if thr.ok:
+        assert [it.result for it in thr.result.iterations] == \
+            [it.result for it in t1.result.iterations]
+
+
+# ----------------------------------------------------------------------
+# Engine-keyed compiled-code cache.
+# ----------------------------------------------------------------------
+def test_compiled_method_cache_is_tier_keyed():
+    from repro.jvm.cache import CompiledMethodCache
+
+    cache = CompiledMethodCache()
+    method = object()
+    cache.install("tier1", method, "code")
+    assert cache.lookup("tier1", method) == "code"
+    # A different tier can never observe another tier's artifact.
+    assert cache.lookup("tier2", method) is None
+    assert cache.invalidate("tier2") == 0
+    assert cache.invalidate("tier1", method) == 1
+    assert cache.lookup("tier1", method) is None
+    info = cache.cache_info()
+    assert info["invalidations"] == 1
+    assert info["hits"] == 1 and info["misses"] == 2
+
+
+def test_cache_info_parity_with_threaded_shape():
+    bench = hot_bench("cacheinfo")
+    vm = VM(engine="tier1", jit=None)
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    info = vm.interpreter.cache_info()
+    # The tier-1 code cache reports through the same shape as the
+    # threaded translation cache it sits on top of.
+    for key in ("size", "hits", "misses", "hit_rate", "invalidations"):
+        assert key in info and key in info["tier1"]
+    assert info["tier1"]["size"] > 0
+    assert info["tier1"]["misses"] > 0      # one per first promotion
+    # Re-entry is served from the dispatch memo, never a fresh
+    # translation: the code cache sees no new misses.
+    vm.invoke(bench.entry, list(bench.args))
+    assert vm.interpreter.cache_info()["tier1"]["misses"] == \
+        info["tier1"]["misses"]
+
+
+# ----------------------------------------------------------------------
+# Harness, metrics, sweeps.
+# ----------------------------------------------------------------------
+def test_runner_attaches_tier1_snapshot():
+    result = Runner(hot_bench("harness"), jit=None, engine="tier1").run()
+    assert result.tier1 is not None
+    assert result.tier1["promotions"] > 0
+    threaded = Runner(hot_bench("harness2"), jit=None).run()
+    assert threaded.tier1 is None
+
+
+def test_metrics_plugin_exports_tier1_counters():
+    from repro.metrics.profiler import TIER1_METRIC_NAMES, MetricsPlugin
+
+    plugin = MetricsPlugin()
+    Runner(hot_bench("metrics"), jit=None, engine="tier1",
+           plugins=(plugin,)).run()
+    assert plugin.raw["tier1_promotions"] > 0
+    assert plugin.raw["tier1_compiled_blocks"] > 0
+    plugin2 = MetricsPlugin()
+    Runner(hot_bench("metrics2"), jit=None, plugins=(plugin2,)).run()
+    assert all(plugin2.raw[name] == 0 for name in TIER1_METRIC_NAMES)
+
+
+def test_durable_fingerprint_records_engine():
+    from repro.harness.durable import _config_fingerprint
+
+    base = dict(jit=None, sanitize=None, cores=8, schedule_seed=0,
+                warmup=1, measure=1, iteration_budget=None, max_retries=2)
+    tier1 = _config_fingerprint(dict(base, engine="tier1"), None, ())
+    default = _config_fingerprint(base, None, ())
+    assert tier1["engine"] == "tier1"
+    assert default["engine"] == "threaded"
+    assert tier1 != default
+
+
+def test_sharded_tier1_sweep_matches_serial():
+    benches = (hot_bench("shard-a", 30), hot_bench("shard-b", 50))
+    kwargs = dict(jit=None, warmup=1, measure=1, engine="tier1")
+    serial = run_suite(benches, **kwargs)
+    sharded = run_suite(benches, jobs=2, **kwargs)
+    assert [r.fingerprint() for r in serial.results] == \
+        [r.fingerprint() for r in sharded.results]
+    threaded = run_suite(benches, jit=None, warmup=1, measure=1)
+    assert [r.fingerprint() for r in serial.results] == \
+        [r.fingerprint() for r in threaded.results]
