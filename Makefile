@@ -14,6 +14,24 @@ chaos:
 sanitize:
 	PYTHONPATH=src python -m repro.sanitize
 
+# Lint: the static passes (verify_program + lockset_issues +
+# build_lock_order) over every registered benchmark, gated against the
+# committed LINT_BASELINE.json — any StaticIssue not recorded there
+# fails the target.  Accept a new advisory deliberately with
+# `python -m repro.sanitize --no-dynamic --write-baseline LINT_BASELINE.json`.
+lint:
+	PYTHONPATH=src python -m repro.sanitize --no-dynamic \
+		--baseline LINT_BASELINE.json
+
+# Tier-2: the compiler-verification layer's own test — the mutation
+# corpus of deliberately broken compiles (every variant must be
+# detected AND attributed to the right phase), then the per-phase IR
+# verifier over every registered benchmark's full JIT pipeline.
+verify-ir:
+	PYTHONPATH=src python -m repro.sanitize --mutations
+	PYTHONPATH=src python -m repro.sanitize --ir --no-dynamic \
+		--baseline LINT_BASELINE.json
+
 # Tier-2: the full crash/resume suite — everything in
 # tests/test_durable.py including the heavyweight supervision
 # scenarios (hung-worker kill/respawn, SIGTERM drain) that tier-1
@@ -36,6 +54,8 @@ bench:
 # Tier-2: fail if threaded-engine ops/sec regressed >10% against the
 # committed BENCH_interpreter.json baseline, or if the flight recorder
 # blew its overhead budget (disabled ≤5%, enabled ≤15%), or if the
+# compiler-verification layer blew its budget (verify_ir disabled ≤5%,
+# enabled ≤10% on a standard-length compile-inclusive run), or if the
 # tier-1 engine fell below 2.5x threaded ops/sec.  Never gates
 # tier-1 (host timing is machine-dependent).
 bench-check:
@@ -50,4 +70,4 @@ trace:
 		--out .trace-out --warmup 1 --measure 1
 	@ls -l .trace-out
 
-.PHONY: test chaos sanitize tier1 bench bench-check trace
+.PHONY: test chaos sanitize lint verify-ir tier1 bench bench-check trace

@@ -16,7 +16,11 @@ overheads at ≤5% (disabled — each hook site must stay a single None/flag
 check; the margin above the ~0–1% true cost absorbs shared-box jitter)
 and ≤15% (enabled), plus the durable-sweep machinery (write-ahead
 journal + content-addressed result store, repro.harness.durable) at a
-≤10% ops/sec drop over the same slice run serially.
+≤10% ops/sec drop over the same slice run serially, plus the compiler-
+verification layer (``VM(verify_ir=True)``, repro.sanitize.irverify):
+≤10% on a compile-inclusive fresh-VM run at the harness's standard
+warmup+measure invocation count with verification enabled, and nothing
+measurable (the jitter floor) with the flag off.
 
 The slice is small but representative: the quick subset used by the
 figure benchmarks (string-heavy, lock-heavy, data-parallel, compiler
@@ -179,6 +183,55 @@ def durable_overhead(reps: int = REPS + 2) -> dict:
     return out
 
 
+def verify_overhead(reps: int = REPS, invocations: int = 10) -> dict:
+    """Aggregate slowdown of the compiler-verification layer.
+
+    ``verify_ir`` does all its work at compile time (per-phase IR
+    re-verification in the guest JIT, superblock validation at tier-1
+    promotion), so the measurement must *include* compilation: every
+    timed sample builds a fresh VM (``jit="graal"``, ``engine="tier1"``
+    — both verified artifact kinds), loads the program and runs
+    ``invocations`` iterations from cold.  The default matches the
+    harness's standard run (6 warmup + 4 measured iterations, the
+    paper's repeat-in-one-process methodology): every compile and
+    promotion of a standard benchmark run happens inside the timed
+    window, amortized exactly as a real run amortizes it.  ``disabled``
+    constructs the VM with ``verify_ir=False`` — the flag must cost
+    nothing when off (a single attribute check per compile) — and
+    ``enabled`` with ``verify_ir=True``.  Same paired-rep/min-ratio
+    discipline as :func:`trace_overhead`.
+    """
+    configs = (("baseline", False), ("disabled", False), ("enabled", True))
+    walls = {name: 0.0 for name, _ in configs}
+    for bench in _resolve_workloads():
+        bench.compile()      # pre-warm the shared source->Program cache
+        best = {name: float("inf") for name, _ in configs}
+        for _ in range(reps):
+            for name, flag in configs:
+                started = time.perf_counter()
+                vm = VM(jit="graal", engine="tier1", schedule_seed=0,
+                        verify_ir=flag)
+                vm.load(bench.compile())
+                for _ in range(invocations):
+                    vm.invoke(bench.entry, list(bench.args))
+                best[name] = min(best[name],
+                                 time.perf_counter() - started)
+        for name, _ in configs:
+            walls[name] += best[name]
+    base = walls["baseline"]
+    out = {
+        "wall_seconds": {k: round(v, 6) for k, v in walls.items()},
+        "disabled_overhead": round(walls["disabled"] / base - 1.0, 4)
+        if base else 0.0,
+        "enabled_overhead": round(walls["enabled"] / base - 1.0, 4)
+        if base else 0.0,
+    }
+    print(f"verify_ir overhead: disabled "
+          f"{out['disabled_overhead'] * 100:+.1f}%   enabled "
+          f"{out['enabled_overhead'] * 100:+.1f}%")
+    return out
+
+
 #: The three host engines, measured in ladder order.
 ENGINES = ("reference", "threaded", "tier1")
 
@@ -258,6 +311,7 @@ def run(out_path: Path) -> dict:
         "schema": "selfbench/1",
         "trace_overhead": trace_overhead(),
         "durable_overhead": durable_overhead(),
+        "verify_overhead": verify_overhead(),
         "workloads": per_bench,
         "suite": suite,
     }
@@ -284,6 +338,13 @@ TRACE_ENABLED_CEILING = 0.15
 #: a warm store) would cost.
 DURABLE_OVERHEAD_CEILING = 0.10
 
+#: Compiler-verification overhead ceilings (ISSUE 8 contract): a
+#: disabled ``verify_ir`` flag must cost nothing — the ceiling is the
+#: same shared-box jitter floor the trace hooks get — and the enabled
+#: verifier must stay within 10% of the compile-inclusive wall.
+VERIFY_DISABLED_CEILING = 0.05
+VERIFY_ENABLED_CEILING = 0.10
+
 #: Tier-1 engine must deliver at least this suite speedup over threaded.
 TIER1_SPEEDUP_FLOOR = 2.5
 
@@ -307,6 +368,17 @@ def check(current: dict, baseline_path: Path,
             verdict = "ok" if value <= ceiling else "REGRESSION"
             print(f"bench-check: trace {key} overhead {value * 100:+.1f}% "
                   f"(ceiling {ceiling * 100:.0f}%): {verdict}")
+            if value > ceiling:
+                failed = 1
+    verify = current.get("verify_overhead")
+    if verify is not None:
+        for key, ceiling in (("disabled", VERIFY_DISABLED_CEILING),
+                             ("enabled", VERIFY_ENABLED_CEILING)):
+            value = verify[f"{key}_overhead"]
+            verdict = "ok" if value <= ceiling else "REGRESSION"
+            print(f"bench-check: verify_ir {key} overhead "
+                  f"{value * 100:+.1f}% (ceiling {ceiling * 100:.0f}%): "
+                  f"{verdict}")
             if value > ceiling:
                 failed = 1
     durable = current.get("durable_overhead")

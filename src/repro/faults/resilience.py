@@ -65,7 +65,8 @@ class ResilientRunner:
                  faults: FaultPlan | None = None,
                  iteration_budget: int | None = DEFAULT_ITERATION_BUDGET,
                  max_retries: int = 2, reseed_stride: int = 1_000_003,
-                 sanitize=None, engine: str = "threaded") -> None:
+                 sanitize=None, engine: str = "threaded",
+                 verify_ir: bool = False) -> None:
         self.benchmark = benchmark
         self.jit = jit
         self.cores = cores
@@ -77,6 +78,7 @@ class ResilientRunner:
         self.reseed_stride = reseed_stride
         self.sanitize = sanitize
         self.engine = engine
+        self.verify_ir = verify_ir
 
     # ------------------------------------------------------------------
     def run(self, warmup: int | None = None,
@@ -91,7 +93,8 @@ class ResilientRunner:
                 bench, jit=self.jit, cores=self.cores, schedule_seed=seed,
                 plugins=self.plugins, faults=self.faults,
                 iteration_budget=self.iteration_budget,
-                sanitize=self.sanitize, engine=self.engine)
+                sanitize=self.sanitize, engine=self.engine,
+                verify_ir=self.verify_ir)
             try:
                 result = runner.run(warmup=warmup, measure=measure)
             except ReproError as exc:
@@ -288,7 +291,8 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
               plugins: tuple = (), sanitize=None,
               jobs: int | None = None,
               durable_dir=None, resume: bool = False,
-              durable_policy=None, engine: str = "threaded") -> SuiteResult:
+              durable_policy=None, engine: str = "threaded",
+              verify_ir: bool = False) -> SuiteResult:
     """Run every benchmark of ``suite``, surviving individual failures.
 
     ``suite`` is a registry suite name or an iterable of
@@ -317,7 +321,7 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
             continue_on_error=continue_on_error, faults=faults,
             iteration_budget=iteration_budget, max_retries=max_retries,
             repeat=repeat, quarantine=quarantine, plugins=plugins,
-            sanitize=sanitize, engine=engine)
+            sanitize=sanitize, engine=engine, verify_ir=verify_ir)
     if jobs is not None and jobs > 1:
         from repro.harness.parallel import run_suite_parallel
 
@@ -327,7 +331,7 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
             continue_on_error=continue_on_error, faults=faults,
             iteration_budget=iteration_budget, max_retries=max_retries,
             repeat=repeat, quarantine=quarantine, plugins=plugins,
-            sanitize=sanitize, engine=engine)
+            sanitize=sanitize, engine=engine, verify_ir=verify_ir)
     if isinstance(suite, str):
         from repro.suites.registry import benchmarks_of
         benches = benchmarks_of(suite)
@@ -352,7 +356,7 @@ def run_suite(suite="renaissance", *, jit="graal", cores: int = 8,
                 bench, jit=jit, cores=cores, schedule_seed=schedule_seed,
                 plugins=plugins, faults=plan_of[bench.name],
                 iteration_budget=iteration_budget, max_retries=max_retries,
-                sanitize=sanitize, engine=engine)
+                sanitize=sanitize, engine=engine, verify_ir=verify_ir)
             outcome = runner.run(warmup=warmup, measure=measure)
             if outcome.ok:
                 out.results.append(outcome.result)

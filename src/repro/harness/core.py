@@ -207,16 +207,25 @@ class Runner:
     closures with deopt fallback).  The choice is pure host-side speed:
     counters, schedules, results and fingerprints are byte-identical
     across engines.
+
+    ``verify_ir`` turns on the compiler verification layer
+    (:mod:`repro.sanitize.irverify`): every guest-JIT compile re-checks
+    the IR after each pipeline phase, and every tier-1 promotion
+    validates its superblocks (:mod:`repro.sanitize.blockverify`).  A
+    violation raises instead of silently falling back — results are
+    unchanged when everything is sound.
     """
 
     def __init__(self, benchmark: GuestBenchmark, *, jit="graal",
                  cores: int = 8, schedule_seed: int = 0,
                  plugins: tuple = (), faults=None,
                  iteration_budget: int | None = None,
-                 sanitize=None, engine: str = "threaded") -> None:
+                 sanitize=None, engine: str = "threaded",
+                 verify_ir: bool = False) -> None:
         self.benchmark = benchmark
         self.jit = jit
         self.engine = engine
+        self.verify_ir = bool(verify_ir)
         self.cores = cores
         self.schedule_seed = schedule_seed
         self.plugins = list(plugins)
@@ -247,7 +256,7 @@ class Runner:
         measure = bench.measure if measure is None else measure
         vm = VM(jit=self.jit, cores=self.cores,
                 schedule_seed=self.schedule_seed, faults=self.faults,
-                engine=self.engine)
+                engine=self.engine, verify_ir=self.verify_ir)
         self.last_vm = vm
         self.last_injector = vm.faults
         vm.load(bench.compile())

@@ -177,6 +177,10 @@ def _config_fingerprint(kwargs: dict, faults, plugins: tuple) -> dict:
         # The host engine is part of the unit identity on purpose: even
         # though engines are byte-identical, serving a tier1-run unit to
         # a reference resume would silently mask an identity bug.
+        # ``verify_ir`` is deliberately NOT part of the identity: the
+        # verifier either raises or changes nothing, so a verified unit
+        # is byte-identical to an unverified one and may serve a resume
+        # either way.
         "engine": kwargs.get("engine", "threaded"),
     }
     return json.loads(json.dumps(fingerprint, sort_keys=True))
@@ -229,7 +233,8 @@ def execute_unit(unit: SweepUnit, kwargs: dict, plan, plugins: tuple,
             schedule_seed=kwargs["schedule_seed"], plugins=plugins,
             faults=plan, iteration_budget=kwargs["iteration_budget"],
             max_retries=kwargs["max_retries"], sanitize=kwargs["sanitize"],
-            engine=kwargs.get("engine", "threaded"))
+            engine=kwargs.get("engine", "threaded"),
+            verify_ir=kwargs.get("verify_ir", False))
 
     def _run():
         state["outcome"] = state["runner"].run(
@@ -376,7 +381,8 @@ class DurableSweep:
                  continue_on_error: bool = True, faults=None,
                  iteration_budget=_BUDGET_DEFAULT, max_retries: int = 2,
                  repeat: int = 1, quarantine=None, plugins: tuple = (),
-                 sanitize=None, engine: str = "threaded") -> None:
+                 sanitize=None, engine: str = "threaded",
+                 verify_ir: bool = False) -> None:
         from repro.faults.resilience import DEFAULT_ITERATION_BUDGET
         from repro.harness.plugins import MergeablePlugin
 
@@ -401,7 +407,7 @@ class DurableSweep:
             jit=jit, cores=cores, schedule_seed=schedule_seed,
             warmup=warmup, measure=measure,
             iteration_budget=iteration_budget, max_retries=max_retries,
-            sanitize=sanitize, engine=engine)
+            sanitize=sanitize, engine=engine, verify_ir=verify_ir)
         self.continue_on_error = continue_on_error
         self.repeat = repeat
         self.quarantine = quarantine

@@ -107,7 +107,8 @@ def _shard_worker_inner(payload):
                 iteration_budget=kwargs["iteration_budget"],
                 max_retries=kwargs["max_retries"],
                 sanitize=kwargs["sanitize"],
-                engine=kwargs.get("engine", "threaded"))
+                engine=kwargs.get("engine", "threaded"),
+                verify_ir=kwargs.get("verify_ir", False))
             outcome = runner.run(warmup=kwargs["warmup"],
                                  measure=kwargs["measure"])
             payloads = tuple(p.snapshot_run() for p in plugins)
@@ -132,7 +133,7 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
                        max_retries: int = 2, repeat: int = 1,
                        quarantine=None,
                        plugins: tuple = (), sanitize=None,
-                       engine: str = "threaded"):
+                       engine: str = "threaded", verify_ir: bool = False):
     """:func:`~repro.faults.resilience.run_suite` across worker processes.
 
     ``jobs`` is the worker-process count (``None``/``1`` = serial,
@@ -155,7 +156,7 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
         measure=measure, continue_on_error=continue_on_error, faults=faults,
         iteration_budget=iteration_budget, max_retries=max_retries,
         repeat=repeat, quarantine=quarantine, plugins=plugins,
-        sanitize=sanitize, engine=engine)
+        sanitize=sanitize, engine=engine, verify_ir=verify_ir)
     if jobs is None or jobs <= 1 or not _forkable(sanitize) \
             or (plugins and not _plugins_mergeable(plugins)):
         return run_suite(suite, **serial_kwargs)
@@ -179,7 +180,7 @@ def run_suite_parallel(suite="renaissance", *, jobs: int | None = None,
                   warmup=warmup, measure=measure,
                   iteration_budget=iteration_budget,
                   max_retries=max_retries, sanitize=sanitize,
-                  engine=engine)
+                  engine=engine, verify_ir=verify_ir)
     plugins = tuple(plugins)
     jobs = min(jobs, len(benches))
     shards = [

@@ -86,11 +86,26 @@ class JitCompiler:
             return False
         if method.compile_failures > 2:
             return False
+        verify = getattr(self.vm, "verify_ir", False)
         try:
             graph = build_graph(method, self.vm.pool)
-            run_pipeline(graph, self.config, self.vm.pool, self.stats)
+            if verify:
+                run_pipeline(graph, self.config, self.vm.pool, self.stats,
+                             verify=True,
+                             verify_stats=self.vm.irverify_stats)
+            else:
+                run_pipeline(graph, self.config, self.vm.pool, self.stats)
+            if verify:
+                self.vm.irverify_stats["graphs"] = \
+                    self.vm.irverify_stats.get("graphs", 0) + 1
             code = lower(graph, self.config, self.vm.pool)
         except CompileError as exc:
+            from repro.sanitize.irverify import IRVerifyError
+            if isinstance(exc, IRVerifyError):
+                # Never mask a verification failure as a bailout: the
+                # interpreter fallback is exactly what would hide the
+                # miscompile this mode exists to catch.
+                raise
             method.compile_failures += 1
             method.invocation_count = 0
             self.failed[method.qualified] = str(exc)

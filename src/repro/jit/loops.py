@@ -146,6 +146,5 @@ def ensure_preheader(graph: Graph, loop: Loop) -> Block:
         pred.replace_successor(header, pre)
     pre.preds = forward
     header.preds = [pre] + [header.preds[i] for i in back_idx]
-    graph.blocks.append(pre)
     loop.preheader = pre
     return pre

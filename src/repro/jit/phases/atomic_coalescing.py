@@ -146,7 +146,7 @@ def _fuse(graph: Graph, first: _RetryLoop, second: _RetryLoop) -> bool:
             return False
     moved = [n for n in b2.nodes
              if n is not second.cas and n is not second.read
-             and n.op != "guard"]
+             and n.op != "guard" and second.cas not in n.inputs]
     b2_phi_ids = {phi.id for phi in b2.phis}
     for node in moved:
         if any(i.id in b2_phi_ids for i in node.inputs):

@@ -58,8 +58,7 @@ def _remove_unused_closures(graph: Graph) -> None:
                 used.add(inp.id)
             if node.op == "guard" and node.extra.state is not None:
                 for v in node.extra.state.values():
-                    if isinstance(v, Node):
-                        used.add(v.id)
+                    _mark_used(v, used)
         t = block.terminator
         if t is not None and t[0] in ("branch", "return") and t[1] is not None:
             if isinstance(t[1], Node):
@@ -70,14 +69,22 @@ def _remove_unused_closures(graph: Graph) -> None:
                                and not _in_any_state(graph, n))]
 
 
+def _mark_used(value, used: set[int]) -> None:
+    if isinstance(value, Node):
+        used.add(value.id)
+    elif isinstance(value, VirtualObjectState):
+        for _, v in value.field_values:
+            _mark_used(v, used)
+
+
 def _in_any_state(graph: Graph, node: Node) -> bool:
     for block in graph.blocks:
         if block.entry_state is not None:
-            if any(v is node for v in block.entry_state.values()):
+            if _state_mentions(block.entry_state, node):
                 return True
         for n in block.nodes:
             if isinstance(n.value, FrameState):
-                if any(v is node for v in n.value.values()):
+                if _state_mentions(n.value, node):
                     return True
     return False
 
@@ -127,6 +134,12 @@ def _try_virtualize(graph: Graph, block, alloc: Node, atomics_ok: bool,
                 # Substitute a rematerialization recipe into the state.
                 node.extra.state = _virtualize_state(
                     node.extra.state, alloc, fields)
+            elif isinstance(node.value, FrameState) and \
+                    _state_mentions(node.value, alloc):
+                # Callsite states too: a deopt at this call precedes any
+                # materialization point, so it must rematerialize from
+                # the recipe rather than reference the (later) new.
+                node.value = _virtualize_state(node.value, alloc, fields)
             index += 1
             continue
         op = node.op
@@ -284,7 +297,17 @@ def _definitely_different(current: Node | None, expect: Node) -> bool:
 
 
 def _state_mentions(state, alloc: Node) -> bool:
-    return state is not None and any(v is alloc for v in state.values())
+    """True if ``alloc`` appears in the state directly or nested inside
+    another scalar-replaced object's rematerialization recipe."""
+    if state is None:
+        return False
+    for v in state.values():
+        if v is alloc:
+            return True
+        if isinstance(v, VirtualObjectState) and \
+                any(x is alloc for _, x in v.field_values):
+            return True
+    return False
 
 
 def _virtualize_state(state: FrameState, alloc: Node,
@@ -292,7 +315,21 @@ def _virtualize_state(state: FrameState, alloc: Node,
     vos = VirtualObjectState(alloc.value, tuple(fields.items()))
 
     def sub(v):
-        return vos if v is alloc else v
+        if v is alloc:
+            return vos
+        if isinstance(v, VirtualObjectState) and \
+                any(x is alloc for _, x in v.field_values):
+            # ``alloc`` is a field of another scalar-replaced object
+            # (e.g. reactor.mailbox = new Deque()).  Nest the recipe:
+            # lowering flattens VirtualObjectState recursively and deopt
+            # rematerializes inner objects on demand, so the outer
+            # recipe must not keep a raw reference that a later
+            # materialization would rewrite to a not-yet-executed new.
+            return VirtualObjectState(
+                v.class_name,
+                tuple((f, vos if x is alloc else x)
+                      for f, x in v.field_values))
+        return v
 
     caller = (_virtualize_state(state.caller, alloc, fields)
               if state.caller is not None else None)

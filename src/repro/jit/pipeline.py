@@ -97,12 +97,34 @@ def c2_config(**overrides) -> JitConfig:
     )
 
 
-def run_pipeline(graph, config: JitConfig, pool, stats) -> None:
+#: Checkpoint labels of the verified pipeline, in execution order.
+#: Repeated entries (``cleanup`` runs between several phases) share a
+#: label: a broken invariant is attributed to the phase that just ran.
+PHASE_LABELS = (
+    "parse", "inlining", "cleanup", "method-handle", "escape-analysis",
+    "duplication", "guard-motion", "vectorize", "unroll", "lock-coarsen",
+    "atomic-coalesce", "schedule",
+)
+
+
+def run_pipeline(graph, config: JitConfig, pool, stats, *,
+                 verify: bool = False, mutate: dict | None = None,
+                 verify_stats: dict | None = None) -> None:
     """Run the optimization phases over ``graph`` in canonical order.
 
     ``stats`` is a :class:`repro.jit.jit.CompileStats`; every phase
     reports the number of nodes it processed, which feeds the simulated
     compile-time accounting (Table 16).
+
+    With ``verify=True`` (the ``verify_between_phases`` mode) the IR
+    verifier (:mod:`repro.sanitize.irverify`) re-checks the whole graph
+    after parse and after every phase; the first violation raises
+    :class:`repro.sanitize.irverify.IRVerifyError` carrying the label of
+    the phase that just ran.  ``mutate`` maps a phase label to a
+    callable ``fn(graph)`` applied right after that phase's first run —
+    the hook the mutation corpus uses to seed deliberate miscompiles.
+    ``verify_stats`` (when given) accumulates ``phase_checks`` /
+    ``issues`` counters.
     """
     from repro.jit.phases import (
         atomic_coalescing,
@@ -117,26 +139,62 @@ def run_pipeline(graph, config: JitConfig, pool, stats) -> None:
         vectorization,
     )
 
+    mutate = dict(mutate) if mutate else None
+
+    def checkpoint(phase: str) -> None:
+        if mutate is not None:
+            fn = mutate.pop(phase, None)
+            if fn is not None:
+                fn(graph)
+        if not verify:
+            return
+        from repro.sanitize.irverify import IRVerifyError, verify_graph
+
+        issues = verify_graph(graph, phase=phase)
+        if verify_stats is not None:
+            verify_stats["phase_checks"] = \
+                verify_stats.get("phase_checks", 0) + 1
+            verify_stats["issues"] = \
+                verify_stats.get("issues", 0) + len(issues)
+        if any(i.severity == "error" for i in issues):
+            raise IRVerifyError(graph.method.qualified, phase, issues)
+
     stats.phase("parse", graph.node_count() * 3)
+    checkpoint("parse")
     inlining.run(graph, config, pool, stats)
+    checkpoint("inlining")
     cleanup.run(graph, config, stats)
+    checkpoint("cleanup")
     if config.enabled("MHS"):
         changed = method_handle.run(graph, config, stats)
+        checkpoint("method-handle")
         if changed:
             inlining.run(graph, config, pool, stats)
+            checkpoint("inlining")
             cleanup.run(graph, config, stats)
+            checkpoint("cleanup")
     escape_analysis.run(graph, config, stats, pool)
+    checkpoint("escape-analysis")
     if config.enabled("DS"):
         duplication.run(graph, config, stats)
+        checkpoint("duplication")
         cleanup.run(graph, config, stats)
+        checkpoint("cleanup")
     if config.enabled("GM"):
         guard_motion.run(graph, config, stats)
+        checkpoint("guard-motion")
     if config.enabled("LV"):
         vectorization.run(graph, config, stats)
+        checkpoint("vectorize")
     unrolling.run(graph, config, stats)
+    checkpoint("unroll")
     if config.enabled("LLC"):
         lock_coarsening.run(graph, config, stats)
+        checkpoint("lock-coarsen")
     if config.enabled("AC"):
         atomic_coalescing.run(graph, config, stats)
+        checkpoint("atomic-coalesce")
     cleanup.run(graph, config, stats)
+    checkpoint("cleanup")
     stats.phase("schedule", graph.node_count() * 4)
+    checkpoint("schedule")

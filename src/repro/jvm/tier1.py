@@ -164,6 +164,20 @@ class Tier1Interpreter(ThreadedInterpreter):
         if code is None:
             self._failed.add(method)
             return None
+        # Superblock validation runs OUTSIDE the bail-out try above: a
+        # compile failure is a legitimate fallback, a verification
+        # failure never is (masking it is the miscompile-hiding behavior
+        # verify_ir exists to remove).
+        if getattr(self.vm, "verify_ir", False):
+            from repro.sanitize.blockverify import (
+                BlockVerifyError, verify_tier1_code)
+
+            issues = verify_tier1_code(code, method)
+            stats = self.vm.irverify_stats
+            stats["blocks"] = stats.get("blocks", 0) + code.nblocks
+            stats["issues"] = stats.get("issues", 0) + len(issues)
+            if issues:
+                raise BlockVerifyError(method.qualified, issues)
         # Merge: block leaders run compiled, everything else (OSR
         # resume points, bail opcodes) dispatches its threaded handler.
         code.dispatch = [entry if entry is not None else handler

@@ -33,6 +33,14 @@ TRACE_METRIC_NAMES = ("trace_events", "trace_dropped", "trace_samples")
 TIER1_METRIC_NAMES = ("tier1_promotions", "tier1_compiled_blocks",
                       "tier1_deopts", "tier1_compile_cycles")
 
+#: Compiler-verification counters (repro.sanitize.irverify /
+#: blockverify): IR graphs verified, per-phase re-checks, superblocks
+#: validated, and issues raised.  All zero unless the run used
+#: ``verify_ir=True``.  Host-side bookkeeping, like the tier-1
+#: counters — never part of the byte-identity contract.
+IRVERIFY_METRIC_NAMES = ("irverify_graphs", "irverify_phase_checks",
+                         "irverify_blocks", "irverify_issues")
+
 #: Sanitizer counters exported from checked runs (repro.sanitize), for
 #: Table-7-style per-benchmark tables.  ``mean_lockset`` is derived:
 #: average number of monitors held at each acquisition.
@@ -83,6 +91,9 @@ class MetricsPlugin(MergeablePlugin):
         tier1 = tier1() if tier1 is not None else {}
         for name in TIER1_METRIC_NAMES:
             self.raw[name] = tier1.get(name, 0)
+        irverify = getattr(vm, "irverify_stats", None) or {}
+        for name in IRVERIFY_METRIC_NAMES:
+            self.raw[name] = irverify.get(name[len("irverify_"):], 0)
         self.reference_cycles = delta.get("reference_cycles", 0)
         self.per_run.append((benchmark.name, dict(self.raw)))
         self._pending.append(

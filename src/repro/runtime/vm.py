@@ -62,8 +62,19 @@ class VM:
         faults: object = None,
         sanitize: object = None,
         trace: object = None,
+        verify_ir: bool = False,
     ) -> None:
         self.counters = Counters()
+        # Compiler verification (repro.sanitize.irverify/blockverify):
+        # when on, every JIT pipeline phase and every emitted tier-1
+        # superblock is statically re-checked; violations raise instead
+        # of silently falling back.  Stats live outside Counters — they
+        # are host-side observability and must not perturb the
+        # byte-identity fingerprint.
+        self.verify_ir = bool(verify_ir)
+        self.irverify_stats: dict[str, int] = {
+            "graphs": 0, "phase_checks": 0, "issues": 0, "blocks": 0,
+        }
         # Flight recorder (repro.trace); installed below once the
         # subsystems it hooks exist.  Every hot-path hook is a single
         # None check while this stays None.

@@ -21,6 +21,18 @@ Static layer (no execution required)
       cycles predict deadlocks, cross-checkable against the scheduler's
       dynamic wait-for cycle.
 
+Compiler verification layer (static, over JIT artifacts)
+    - :mod:`repro.sanitize.irverify` — SSA IR well-formedness verifier
+      run after every pipeline phase (``run_pipeline(verify=True)``,
+      ``VM(verify_ir=True)``); violations raise :class:`IRVerifyError`
+      attributed to the offending phase,
+    - :mod:`repro.sanitize.blockverify` — tier-1 superblock validation:
+      entry-table legitimacy, cost/instruction accounting against the
+      cost model, deopt-metadata completeness,
+    - :mod:`repro.sanitize.mutations` — the corpus of deliberately
+      broken compiles proving both verifiers actually detect breakage
+      (``python -m repro.sanitize --mutations``, ``make verify-ir``).
+
 Dynamic layer (checked execution)
     - :mod:`repro.sanitize.hb` — a FastTrack-style happens-before race
       sanitizer: vector clocks on threads/monitors, epochs on heap
@@ -39,9 +51,12 @@ Quick start::
     assert report.clean, report.format()
 """
 
+from repro.sanitize.blockverify import BlockVerifyError, verify_tier1_code
 from repro.sanitize.cfg import CFG, BasicBlock, build_cfg, dominators
 from repro.sanitize.dataflow import DataflowProblem, DataflowResult, solve
 from repro.sanitize.hb import RaceSanitizer, SanitizerConfig
+from repro.sanitize.irverify import IRVerifyError, verify_graph
+from repro.sanitize.mutations import MutationResult, run_corpus
 from repro.sanitize.lockorder import LockOrderGraph, build_lock_order, cross_check
 from repro.sanitize.lockset import lockset_issues
 from repro.sanitize.locks import lock_facts
@@ -55,6 +70,9 @@ from repro.sanitize.verify import (
 )
 
 __all__ = [
+    "BlockVerifyError", "verify_tier1_code",
+    "IRVerifyError", "verify_graph",
+    "MutationResult", "run_corpus",
     "CFG", "BasicBlock", "build_cfg", "dominators",
     "DataflowProblem", "DataflowResult", "solve",
     "RaceSanitizer", "SanitizerConfig",

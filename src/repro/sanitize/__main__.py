@@ -1,15 +1,26 @@
 """Command-line sanitizer sweep: ``python -m repro.sanitize``.
 
-Two stages, mirroring ``make chaos``'s role as a non-gating tier:
+Stages, mirroring ``make chaos``'s role as a non-gating tier:
 
 1. **Static**: verifier + lockset + lock-order passes over every
    registered benchmark of every suite (cheap — compiled programs are
    cached, no execution).
-2. **Dynamic**: a smoke subset of benchmarks run in checked mode (one
+2. **IR** (``--ir``): every registered benchmark's methods are pushed
+   through the full guest-JIT pipeline with per-phase verification
+   (:mod:`repro.sanitize.irverify`) — the compiler-verification analogue
+   of the static stage.
+3. **Dynamic**: a smoke subset of benchmarks run in checked mode (one
    warmup-free iteration each) through the happens-before sanitizer.
 
-Exit status is 1 when any *error*-severity static issue or any
-unsuppressed dynamic race is found; advisory warnings only are status 0.
+``--mutations`` replaces the sweep with the verifier's own test: the
+mutation corpus (:mod:`repro.sanitize.mutations`) of deliberately broken
+compiles, every one of which must be detected *and* attributed.
+
+Exit status is non-zero when any error-severity static/IR issue, any
+unsuppressed dynamic race, any baseline regression, or any missed
+mutation is found; advisory warnings alone are status 0 (use
+``--strict`` to gate on them too, or ``--baseline`` to gate on *new*
+issues of any severity).
 
 Options::
 
@@ -17,16 +28,22 @@ Options::
     python -m repro.sanitize --suite dacapo   # one suite's static pass
     python -m repro.sanitize --bench philosophers --json
     python -m repro.sanitize --no-dynamic     # static only
+    python -m repro.sanitize --ir --no-dynamic    # + pipeline verification
+    python -m repro.sanitize --mutations      # verifier self-test corpus
+    python -m repro.sanitize --no-dynamic --baseline LINT_BASELINE.json
+    python -m repro.sanitize --no-dynamic --write-baseline LINT_BASELINE.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.sanitize.lockorder import build_lock_order
 from repro.sanitize.lockset import lockset_issues
 from repro.sanitize.plugin import run_checked
+from repro.sanitize.reports import issues_to_json
 from repro.sanitize.verify import verify_program
 
 #: Benchmarks the dynamic smoke stage runs by default: the concurrency
@@ -48,22 +65,162 @@ def static_sweep(benches) -> tuple[list, int]:
     return rows, errors
 
 
+def ir_sweep(benches) -> tuple[list, int, dict]:
+    """Push every benchmark's methods through the verified JIT pipeline.
+
+    Every method of every class of every registered benchmark is graphed
+    and run through ``run_pipeline(verify=True)`` under the full
+    (graal-like) phase set; any :class:`IRVerifyError` contributes its
+    issues.  Ordinary compile bailouts (unsupported constructs the real
+    JIT would also decline) are skipped, not failures.  Methods are
+    deduplicated by qualified name + bytecode length, so the stdlib —
+    which ships with every program — is verified once, not 68 times.
+
+    Returns ``(rows, error_count, stats)`` with rows shaped like
+    :func:`static_sweep`'s and ``stats`` the accumulated verifier
+    counters (graphs / phase_checks / issues).
+    """
+    from repro.errors import CompileError, LinkError
+    from repro.jit.graph_builder import build_graph
+    from repro.jit.jit import CompileStats
+    from repro.jit.pipeline import graal_config, run_pipeline
+    from repro.runtime import VM
+    from repro.sanitize.irverify import IRVerifyError
+
+    rows = []
+    errors = 0
+    stats = {"graphs": 0, "phase_checks": 0, "issues": 0, "blocks": 0}
+    seen: set[tuple[str, int]] = set()
+    for bench in benches:
+        program = bench.compile()
+        # The graph builder resolves call targets through the runtime
+        # pool, which carries bootstrap builtins (Arrays, Function, ...)
+        # a bare ClassPool would not; build it exactly as a run would.
+        vm = VM(jit=None)
+        vm.load(program)
+        pool = vm.pool
+        issues = []
+        for cls in program.classes:
+            for method in pool.get(cls.name).methods.values():
+                if method.code is None:
+                    continue
+                key = (method.qualified, len(method.code))
+                if key in seen:
+                    continue
+                seen.add(key)
+                try:
+                    graph = build_graph(method, pool)
+                    run_pipeline(graph, graal_config(), pool,
+                                 CompileStats(), verify=True,
+                                 verify_stats=stats)
+                    stats["graphs"] += 1
+                except IRVerifyError as exc:
+                    issues.extend(exc.issues)
+                except (CompileError, LinkError):
+                    continue    # ordinary bailout — the JIT declines too
+        errors += sum(1 for i in issues if i.severity == "error")
+        rows.append((bench, issues))
+    return rows, errors, stats
+
+
+def print_rows(rows) -> None:
+    """Print each distinct issue once, with a repeat tally.
+
+    The stdlib ships with every program, so its advisories repeat in
+    every benchmark; collapsing repeats keeps the report readable.
+    """
+    first: dict = {}
+    repeats: dict = {}
+    for bench, issues in rows:
+        for issue in issues:
+            key = (issue.pass_name, issue.method, issue.line, issue.message)
+            if key in first:
+                repeats[key] = repeats.get(key, 0) + 1
+            else:
+                first[key] = (bench.name, issue)
+    for key, (name, issue) in first.items():
+        extra = repeats.get(key, 0)
+        tail = f"  [repeats in {extra} more benchmark(s)]" if extra else ""
+        print(f"  {name}: {issue.format()}{tail}")
+
+
+def _issue_key(issue) -> tuple:
+    return (issue.pass_name, issue.severity, issue.method, issue.pc,
+            issue.line, issue.message)
+
+
+def baseline_diff(rows, path: str) -> list:
+    """Issues in ``rows`` that are not recorded in the baseline file."""
+    with open(path, encoding="utf-8") as fh:
+        recorded = {tuple(entry) for entry in json.load(fh)["issues"]}
+    return [issue for _, issues in rows for issue in issues
+            if _issue_key(issue) not in recorded]
+
+
+def write_baseline(rows, path: str) -> int:
+    """Record every current issue as accepted; returns the count."""
+    keys = sorted({_issue_key(issue) for _, issues in rows
+                   for issue in issues})
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"issues": [list(k) for k in keys]}, fh, indent=1,
+                  sort_keys=True)
+        fh.write("\n")
+    return len(keys)
+
+
+def run_mutations(as_json: bool) -> int:
+    """Drive the mutation corpus; non-zero when any variant slips by."""
+    from repro.sanitize.mutations import run_corpus
+
+    results = run_corpus()
+    bad = [r for r in results if not (r.detected and r.attributed)]
+    if as_json:
+        print(json.dumps([r.__dict__ for r in results], sort_keys=True,
+                         separators=(",", ":")))
+    else:
+        for r in results:
+            print(r.format())
+        print(f"mutations: {len(results)} variant(s), "
+              f"{len(results) - len(bad)} detected+attributed, "
+              f"{len(bad)} escaped")
+    return 1 if bad else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sanitize",
-        description="Static + dynamic concurrency sanitizer sweep")
+        description="Static + IR + dynamic concurrency sanitizer sweep")
     parser.add_argument("--suite", default=None,
                         help="restrict to one registered suite")
     parser.add_argument("--bench", default=None,
                         help="restrict to one benchmark (dynamic too)")
+    parser.add_argument("--ir", action="store_true",
+                        help="also run per-phase IR verification over "
+                             "every benchmark's JIT pipeline")
+    parser.add_argument("--mutations", action="store_true",
+                        help="run the verifier's mutation corpus instead "
+                             "of the sweep")
     parser.add_argument("--no-dynamic", action="store_true",
                         help="skip the checked-mode smoke runs")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too, not just "
+                             "error-severity issues")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="exit non-zero on any issue (any severity) "
+                             "not recorded in this baseline file")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="record the current issues as the accepted "
+                             "baseline and exit 0")
     parser.add_argument("--seed", type=int, default=0,
                         help="schedule seed for the checked runs")
     parser.add_argument("--cores", type=int, default=8)
     parser.add_argument("--json", action="store_true",
-                        help="print race reports as canonical JSON")
+                        help="emit machine-readable reports (canonical "
+                             "JSON) to stdout")
     args = parser.parse_args(argv)
+
+    if args.mutations:
+        return run_mutations(args.json)
 
     from repro.suites.registry import all_benchmarks, benchmarks_of, \
         get_benchmark
@@ -82,21 +239,35 @@ def main(argv=None) -> int:
     total = sum(len(issues) for _, issues in rows)
     print(f"static: {len(rows)} benchmark(s), {total} issue(s), "
           f"{static_errors} error(s)")
-    # The stdlib ships with every program, so its advisories repeat in
-    # every benchmark: print each distinct issue once, with a tally.
-    first: dict = {}
-    repeats: dict = {}
-    for bench, issues in rows:
-        for issue in issues:
-            key = (issue.pass_name, issue.method, issue.line, issue.message)
-            if key in first:
-                repeats[key] = repeats.get(key, 0) + 1
-            else:
-                first[key] = (bench.name, issue)
-    for key, (name, issue) in first.items():
-        extra = repeats.get(key, 0)
-        tail = f"  [repeats in {extra} more benchmark(s)]" if extra else ""
-        print(f"  {name}: {issue.format()}{tail}")
+    print_rows(rows)
+
+    if args.ir:
+        ir_rows, ir_errors, stats = ir_sweep(benches)
+        static_errors += ir_errors
+        ir_total = sum(len(issues) for _, issues in ir_rows)
+        print(f"irverify: {stats['graphs']} graph(s), "
+              f"{stats['phase_checks']} phase check(s), "
+              f"{ir_total} issue(s), {ir_errors} error(s)")
+        print_rows(ir_rows)
+        rows = rows + ir_rows
+
+    all_issues = [issue for _, issues in rows for issue in issues]
+    if args.json:
+        print(issues_to_json(all_issues))
+
+    if args.write_baseline is not None:
+        count = write_baseline(rows, args.write_baseline)
+        print(f"baseline: recorded {count} accepted issue(s) -> "
+              f"{args.write_baseline}")
+        return 0
+
+    regressions = []
+    if args.baseline is not None:
+        regressions = baseline_diff(rows, args.baseline)
+        print(f"baseline: {len(regressions)} new issue(s) vs "
+              f"{args.baseline}")
+        for issue in regressions:
+            print(f"  NEW {issue.format()}")
 
     races = 0
     if not args.no_dynamic:
@@ -109,7 +280,10 @@ def main(argv=None) -> int:
             if args.json:
                 print(report.to_json())
 
-    return 1 if static_errors or races else 0
+    failing = static_errors or races or regressions
+    if args.strict:
+        failing = failing or all_issues
+    return 1 if failing else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,559 @@
+"""Static well-formedness verifier for the JIT's SSA IR.
+
+The LLVM-style pass verifier for :mod:`repro.jit`: after every pipeline
+phase (``run_pipeline(verify=True)``) the whole graph is re-checked
+against the IR contract, so a phase that corrupts the graph is caught at
+transform time — attributed to the offending phase — instead of
+surfacing later as a fingerprint diff between engines.
+
+Checks, in order:
+
+- **structure**: entry block present, every block terminated with a
+  well-shaped terminator whose targets are graph blocks, predecessor
+  lists mutually consistent with successor edges, node ``.block``
+  back-references accurate, no node placed in two blocks;
+- **φ-discipline**: ``phi`` nodes live in ``block.phis`` with exactly
+  one input per predecessor;
+- **arity/kind**: every op has the operand count the graph builder
+  defines for it (guards by ``GuardInfo.test``); guard payloads are
+  :class:`GuardInfo`, call sites carry a callsite
+  :class:`FrameState` in ``node.value``;
+- **def-before-use**: along dominator order (same-block program order,
+  cross-block dominance via :func:`repro.jit.loops.compute_dominators`)
+  for operands, φ inputs (against the matching predecessor), branch
+  conditions, return values, and every framestate value — including
+  :class:`VirtualObjectState` rematerialization recipes left by escape
+  analysis, which is what "allocations must not sink past escaping
+  uses" reduces to in SSA form;
+- **effect placement**: effectful/trapping/allocating nodes must be
+  scheduled in a block (only ``const``/``param`` may float);
+- **monitor balance**: a forward depth analysis over the IR CFG —
+  coarsening tags move *runtime* lock traffic but never change the
+  static enter/exit pairing, and ``monitorexit_if_held`` drains are
+  depth-neutral.
+
+Every violation is a :class:`repro.sanitize.reports.StaticIssue` with
+``pass_name="irverify"``, so the findings serialize through the same
+canonical JSON as the bytecode-level passes.
+"""
+
+from __future__ import annotations
+
+import gc
+from itertools import chain
+
+from repro.errors import CompileError
+from repro.jit.ir import (
+    ALLOC_OPS,
+    EFFECT_OPS,
+    FrameState,
+    GuardInfo,
+    Node,
+    TRAPPING_OPS,
+    VirtualObjectState,
+)
+from repro.sanitize.reports import StaticIssue
+
+__all__ = ["IRVerifyError", "verify_graph", "IR_ARITY", "GUARD_ARITY"]
+
+
+class IRVerifyError(CompileError):
+    """A phase left the IR in a state that violates the contract.
+
+    Unlike an ordinary :class:`CompileError` — which the JIT treats as a
+    bailout and silently falls back to the interpreter — a verification
+    failure is never swallowed: a miscompile that *would* have been
+    masked by the fallback is exactly what the verifier exists to catch.
+    ``phase`` names the pipeline phase after which the first broken
+    invariant was observed.
+    """
+
+    def __init__(self, method: str, phase: str, issues: list[StaticIssue]):
+        self.method = method
+        self.phase = phase
+        self.issues = list(issues)
+        first = issues[0].message if issues else "unknown"
+        super().__init__(
+            f"{method}: IR verification failed after phase "
+            f"'{phase}' ({len(issues)} issue(s)); first: {first}")
+
+
+# Exact operand counts per op, as emitted by the graph builder and
+# preserved by every phase.  ``None`` marks variable-arity ops (calls).
+IR_ARITY: dict[str, int | None] = {
+    "param": 0, "const": 0,
+    "add": 2, "sub": 2, "mul": 2, "div": 2, "rem": 2,
+    "shl": 2, "shr": 2, "and": 2, "or": 2, "xor": 2, "cmp": 2,
+    "neg": 1, "not": 1, "i2d": 1, "d2i": 1, "cmpz": 1,
+    "new": 0, "newarray": 1, "arraylen": 1,
+    "getfield": 1, "putfield": 2, "getstatic": 0, "putstatic": 1,
+    "aload": 2, "astore": 3,
+    "instanceof": 1, "checkcast": 1,
+    "monitorenter": 1, "monitorexit": 1, "monitorexit_if_held": 1,
+    "cas": 3, "atomicget": 1, "atomicadd": 2,
+    "park": 0, "unpark": 1, "wait": 1, "notify": 1, "notifyall": 1,
+    "invokestatic": None, "invokespecial": None, "invokevirtual": None,
+    "invokedirect": None, "invokedynamic": None, "invokehandle": None,
+    "guard": None,   # arity depends on GuardInfo.test, see GUARD_ARITY
+    "phi": None,     # arity == len(block.preds), checked structurally
+}
+
+#: Operand counts for ``guard`` nodes, keyed by ``GuardInfo.test``.
+GUARD_ARITY = {"nonnull": 1, "bounds": 2, "bounds_range": 3, "type": 1}
+
+# Call ops whose ``value`` must be the callsite FrameState (deopt and
+# virtual-frame inlining both rebuild interpreter frames from it).
+_STATEFUL_INVOKES = frozenset({
+    "invokestatic", "invokespecial", "invokevirtual", "invokedirect",
+    "invokehandle",
+})
+
+# Ops that may legally float outside any block (lowering inlines them).
+_FLOATING_OPS = frozenset({"const", "param"})
+
+# Every op that must be anchored in a block's node list to have a
+# defined execution order.
+_ANCHORED_OPS = EFFECT_OPS | TRAPPING_OPS | ALLOC_OPS
+
+
+def verify_graph(graph, *, phase: str = "?") -> list[StaticIssue]:
+    """Check ``graph`` against the IR contract; return all violations."""
+    # The verifier is an allocation burst (location maps, dominator
+    # intervals, analysis facts) of objects that are all dead by return.
+    # Left to the collector, the burst trips the gen-0 threshold dozens
+    # of times per compile, and every triggered collection rescans the
+    # VM's young heap — most of verify_ir's measured overhead.  Suspend
+    # collection for the burst; the next natural collection sweeps the
+    # whole burst in one pass.
+    enabled = gc.isenabled()
+    if enabled:
+        gc.disable()
+    try:
+        return _Verifier(graph, phase).run()
+    finally:
+        if enabled:
+            gc.enable()
+
+
+class _Verifier:
+    def __init__(self, graph, phase: str) -> None:
+        self.graph = graph
+        self.phase = phase
+        self.method = getattr(graph.method, "qualified", str(graph.method))
+        self.issues: list[StaticIssue] = []
+        # node id -> (block, index); φ-nodes get index -1 (they execute
+        # conceptually at block entry, before every scheduled node).
+        self.loc: dict[int, tuple] = {}
+        self.block_ids: set[int] = set()
+        self.idom: dict = {}
+        self.tin: dict[int, int] = {}
+        self.tout: dict[int, int] = {}
+        self.order: list = []
+
+    # ------------------------------------------------------------------
+    def issue(self, message: str, *, pc: int = -1, severity: str = "error",
+              line: int = 0) -> None:
+        self.issues.append(StaticIssue(
+            pass_name="irverify", severity=severity, method=self.method,
+            pc=pc, line=line, message=f"[{self.phase}] {message}"))
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[StaticIssue]:
+        graph = self.graph
+        if graph.entry is None or graph.entry not in graph.blocks:
+            self.issue("entry block missing from graph block list")
+            return self.issues
+        self.block_ids = {b.id for b in graph.blocks}
+        self._check_structure()
+        if self.issues:
+            # Dominators are only meaningful over a structurally sound
+            # CFG; stop at the first layer that is broken.
+            return self.issues
+        from repro.jit.loops import compute_dominators
+        self.order = graph.reachable_blocks()
+        self.idom = compute_dominators(graph)
+        # Euler intervals over the dominator tree: ``a`` dominates ``b``
+        # iff ``tin[a] <= tin[b] and tout[b] <= tout[a]``.  Def-before-use
+        # makes one dominance query per operand of every node and this
+        # verifier runs after every phase of every compile, so queries
+        # must be O(1) integer compares — not idom-chain walks, and not
+        # per-block dominator sets (whose garbage stalls the run under
+        # collector pressure).
+        children: dict[int, list] = {}
+        for block in self.order:
+            parent = self.idom.get(block.id)
+            if parent is not None and parent is not block:
+                children.setdefault(parent.id, []).append(block)
+        tin, tout = self.tin, self.tout
+        timer = 0
+        stack: list[tuple] = [(graph.entry, False)]
+        while stack:
+            block, done = stack.pop()
+            if done:
+                tout[block.id] = timer
+            else:
+                tin[block.id] = timer
+                stack.append((block, True))
+                for child in children.get(block.id, ()):
+                    stack.append((child, False))
+            timer += 1
+        self._check_nodes()
+        self._check_monitor_balance()
+        return self.issues
+
+    # ------------------------------------------------------------------
+    # Layer 1: CFG structure.
+    # ------------------------------------------------------------------
+    def _check_structure(self) -> None:
+        graph = self.graph
+        owner: dict[int, object] = {}
+        if len(self.block_ids) != len(graph.blocks):
+            self.issue("graph block list contains duplicate blocks")
+        for block in graph.blocks:
+            t = block.terminator
+            if t is None:
+                self.issue(f"block B{block.id} has no terminator",
+                           pc=block.bc_pc)
+                continue
+            if t[0] == "jump":
+                targets = [t[1]]
+            elif t[0] == "branch":
+                targets = [t[2], t[3]]
+                if not isinstance(t[1], Node):
+                    self.issue(f"B{block.id} branch condition is not a "
+                               f"Node: {t[1]!r}", pc=block.bc_pc)
+            elif t[0] == "return":
+                targets = []
+                if t[1] is not None and not isinstance(t[1], Node):
+                    self.issue(f"B{block.id} return value is not a "
+                               f"Node: {t[1]!r}", pc=block.bc_pc)
+            else:
+                self.issue(f"B{block.id} has unknown terminator kind "
+                           f"{t[0]!r}", pc=block.bc_pc)
+                continue
+            for target in targets:
+                if getattr(target, "id", None) not in self.block_ids:
+                    self.issue(f"B{block.id} targets block {target!r} "
+                               "that is not in the graph", pc=block.bc_pc)
+            for node in block.phis:
+                if node.op != "phi":
+                    self.issue(f"non-phi node n{node.id}:{node.op} in "
+                               f"B{block.id}.phis", pc=block.bc_pc)
+            for node in list(block.phis) + list(block.nodes):
+                if node.op == "phi" and node not in block.phis:
+                    self.issue(f"phi n{node.id} scheduled in "
+                               f"B{block.id}.nodes", pc=block.bc_pc)
+                if node.block is not block:
+                    self.issue(
+                        f"n{node.id}:{node.op} in B{block.id} has stale "
+                        f".block back-reference "
+                        f"{'B%d' % node.block.id if node.block else None}",
+                        pc=block.bc_pc)
+                prev = owner.get(node.id)
+                if prev is not None:
+                    self.issue(f"n{node.id}:{node.op} scheduled in both "
+                               f"B{prev.id} and B{block.id}", pc=block.bc_pc)
+                owner[node.id] = block
+        if self.issues:
+            return
+        # Predecessor lists must agree (as multisets) with the edges the
+        # terminators actually define; φ arity must match pred count.
+        expected: dict[int, list[int]] = {b.id: [] for b in graph.blocks}
+        for block in graph.blocks:
+            for succ in block.successors:
+                if succ.id in expected:
+                    expected[succ.id].append(block.id)
+        for block in graph.blocks:
+            have = sorted(p.id for p in block.preds)
+            want = sorted(expected[block.id])
+            if have != want:
+                self.issue(
+                    f"B{block.id} predecessor list {have} does not match "
+                    f"CFG edges {want}", pc=block.bc_pc)
+                continue
+            for pred in block.preds:
+                if pred.id not in self.block_ids:
+                    self.issue(f"B{block.id} has dangling predecessor "
+                               f"B{pred.id}", pc=block.bc_pc)
+            for phi in block.phis:
+                if len(phi.inputs) != len(block.preds):
+                    self.issue(
+                        f"phi n{phi.id} in B{block.id} has "
+                        f"{len(phi.inputs)} inputs for {len(block.preds)} "
+                        "predecessors", pc=block.bc_pc)
+        # Location map for the dataflow layer (built only once the
+        # structure is sound enough for it to be unambiguous).
+        for block in graph.blocks:
+            for phi in block.phis:
+                self.loc[phi.id] = (block, -1)
+            for index, node in enumerate(block.nodes):
+                self.loc[node.id] = (block, index)
+
+    # ------------------------------------------------------------------
+    # Layer 2: per-node checks + def-before-use along dominator order.
+    # ------------------------------------------------------------------
+    def _defined_at(self, value: Node, block, index: int) -> bool:
+        """True if ``value`` is available at (block, index)."""
+        if value.op in _FLOATING_OPS:
+            # Constants/params are inlined by lowering wherever used, so
+            # scheduling position (if any) does not constrain their uses.
+            return True
+        where = self.loc.get(value.id)
+        if where is None:
+            return False
+        def_block, def_index = where
+        if def_block is block:
+            return def_index < index
+        ta = self.tin.get(def_block.id)
+        tb = self.tin.get(block.id)
+        if ta is None or tb is None:    # def or use in unreachable block
+            return False
+        return ta <= tb and self.tout[block.id] <= self.tout[def_block.id]
+
+    def _check_use(self, value, block, index: int, what: str,
+                   pc: int) -> None:
+        if not isinstance(value, Node):
+            self.issue(f"{what} is not a Node: {value!r}", pc=pc)
+            return
+        if value.id not in self.loc and value.op not in _FLOATING_OPS:
+            self.issue(
+                f"{what} uses n{value.id}:{value.op} which is not "
+                "scheduled in any block (deleted or floating effect)",
+                pc=pc)
+            return
+        if not self._defined_at(value, block, index):
+            where = self.loc.get(value.id)
+            at = f"B{where[0].id}" if where else "floating"
+            self.issue(
+                f"{what} uses n{value.id}:{value.op} (defined in {at}) "
+                f"which does not dominate the use in B{block.id}", pc=pc)
+
+    def _check_virtual(self, vos, block, index: int, what: str,
+                       pc: int, depth: int) -> None:
+        """Check a rematerialization recipe.  Field values are Nodes that
+        must dominate the deopt point, or nested recipes (an object whose
+        field held another scalar-replaced object) — lowering flattens
+        the nesting and deopt rematerializes inner objects on demand."""
+        if not isinstance(vos.class_name, str):
+            self.issue(f"{what} virtual object has no class name", pc=pc)
+        if depth > 16:
+            self.issue(f"{what} virtual object nesting exceeds depth 16 "
+                       "(cyclic recipe?)", pc=pc)
+            return
+        for fname, fnode in vos.field_values:
+            label = f"{what} virtual {vos.class_name}.{fname}"
+            if isinstance(fnode, VirtualObjectState):
+                self._check_virtual(fnode, block, index, label, pc,
+                                    depth + 1)
+            else:
+                self._check_use(fnode, block, index, label, pc)
+
+    def _check_state(self, state, block, index: int, what: str,
+                     pc: int) -> None:
+        depth = 0
+        while state is not None:
+            if not isinstance(state, FrameState):
+                self.issue(f"{what} carries non-FrameState {state!r}",
+                           pc=pc)
+                return
+            for value in chain(state.locals, state.stack):
+                if value is None:
+                    continue
+                if isinstance(value, VirtualObjectState):
+                    self._check_virtual(value, block, index, what, pc, 0)
+                    continue
+                self._check_use(value, block, index, what, pc)
+            state = state.caller
+            depth += 1
+            if depth > 64:
+                self.issue(f"{what} caller chain exceeds depth 64 "
+                           "(cyclic?)", pc=pc)
+                return
+
+    def _check_nodes(self) -> None:
+        reachable = {b.id for b in self.order}
+        for block in self.graph.blocks:
+            if block.id not in reachable:
+                # recompute_preds() drops unreachable blocks; one left
+                # behind means a phase edited edges without renormalizing.
+                self.issue(f"B{block.id} is unreachable from entry but "
+                           "still in the block list", pc=block.bc_pc,
+                           severity="warning")
+                continue
+            pc = block.bc_pc
+            for phi in block.phis:
+                if len(phi.inputs) != len(block.preds):
+                    continue    # already reported structurally
+                for pred, value in zip(block.preds, phi.inputs):
+                    if isinstance(value, Node):
+                        # The input must be available at the end of the
+                        # matching predecessor (index past its last node).
+                        self._check_use(
+                            value, pred, len(pred.nodes),
+                            f"phi n{phi.id} input from B{pred.id}", pc)
+                    else:
+                        self.issue(f"phi n{phi.id} input from "
+                                   f"B{pred.id} is not a Node: {value!r}",
+                                   pc=pc)
+            # Fast path: a plain fixed-arity op whose operands all pass
+            # the dominance check needs none of the diagnostic machinery
+            # in _check_node — and that is nearly every node of every
+            # graph at every checkpoint.
+            loc = self.loc
+            tin, tout = self.tin, self.tout
+            tb = tin.get(block.id)
+            toutb = tout.get(block.id)
+            for index, node in enumerate(block.nodes):
+                op = node.op
+                arity = IR_ARITY.get(op, "unknown")
+                inputs = node.inputs
+                if (arity.__class__ is int and len(inputs) == arity
+                        and tb is not None):
+                    for operand in inputs:
+                        if not isinstance(operand, Node):
+                            break
+                        if operand.op in _FLOATING_OPS:
+                            continue
+                        where = loc.get(operand.id)
+                        if where is None:
+                            break
+                        def_block, def_index = where
+                        if def_block is block:
+                            if def_index < index:
+                                continue
+                            break
+                        ta = tin.get(def_block.id)
+                        if (ta is not None and ta <= tb
+                                and toutb <= tout[def_block.id]):
+                            continue
+                        break
+                    else:
+                        continue
+                self._check_node(node, block, index, pc)
+            self._check_terminator(block)
+
+    def _check_node(self, node: Node, block, index: int, pc: int) -> None:
+        arity = IR_ARITY.get(node.op, "unknown")
+        if arity == "unknown":
+            self.issue(f"n{node.id} has unknown op {node.op!r}", pc=pc)
+            return
+        if node.op == "guard":
+            info = node.extra
+            if not isinstance(info, GuardInfo):
+                self.issue(f"guard n{node.id} payload is not GuardInfo: "
+                           f"{info!r}", pc=pc)
+                return
+            want = GUARD_ARITY.get(info.test)
+            if want is None:
+                self.issue(f"guard n{node.id} has unknown test "
+                           f"{info.test!r}", pc=pc)
+            elif len(node.inputs) != want:
+                self.issue(
+                    f"guard n{node.id} test {info.test!r} has "
+                    f"{len(node.inputs)} operands, expected {want}", pc=pc)
+            if info.test == "type" and not info.class_name:
+                self.issue(f"type guard n{node.id} has no class_name",
+                           pc=pc)
+            if info.state is None:
+                self.issue(
+                    f"guard n{node.id} ({info.kind}/{info.test}) has no "
+                    "deopt FrameState — failure would be unrecoverable",
+                    pc=pc)
+            else:
+                self._check_state(info.state, block, index,
+                                  f"guard n{node.id} state", pc)
+        elif arity is not None and len(node.inputs) != arity:
+            self.issue(
+                f"n{node.id}:{node.op} has {len(node.inputs)} operands, "
+                f"expected {arity}", pc=pc)
+        if node.op in _STATEFUL_INVOKES:
+            if not isinstance(node.value, FrameState):
+                self.issue(
+                    f"call n{node.id}:{node.op} has no callsite "
+                    "FrameState in .value — deopt/inlining would have "
+                    "no frame to rebuild", pc=pc)
+            else:
+                self._check_state(node.value, block, index,
+                                  f"call n{node.id} state", pc)
+        # Hot loop: one dominance query per operand of every node of
+        # every phase of every compile.  The happy path must not build
+        # the diagnostic label (or any other garbage) — fall through to
+        # _check_use only when something is actually wrong.
+        for i, operand in enumerate(node.inputs):
+            if (isinstance(operand, Node)
+                    and self._defined_at(operand, block, index)
+                    and (operand.id in self.loc
+                         or operand.op in _FLOATING_OPS)):
+                continue
+            self._check_use(operand, block, index,
+                            f"n{node.id}:{node.op} operand {i}", pc)
+            if isinstance(operand, Node) and operand.id not in self.loc \
+                    and operand.op in _ANCHORED_OPS:
+                self.issue(
+                    f"effectful n{operand.id}:{operand.op} is used but "
+                    "not scheduled in any block", pc=pc)
+
+    def _check_terminator(self, block) -> None:
+        t = block.terminator
+        end = len(block.nodes)
+        if t[0] == "branch":
+            self._check_use(t[1], block, end,
+                            f"B{block.id} branch condition", block.bc_pc)
+        elif t[0] == "return" and t[1] is not None:
+            self._check_use(t[1], block, end,
+                            f"B{block.id} return value", block.bc_pc)
+
+    # ------------------------------------------------------------------
+    # Layer 3: monitor balance over the IR CFG.
+    # ------------------------------------------------------------------
+    def _check_monitor_balance(self) -> None:
+        """Forward depth analysis: enter +1, exit -1, drains neutral.
+
+        Lock coarsening retags monitor nodes and inserts
+        ``monitorexit_if_held`` drains on loop exits, but must preserve
+        the static pairing — the postcondition counterpart of
+        :func:`repro.sanitize.verify.check_monitor_balance` at the
+        bytecode level.
+        """
+        depth_in: dict[int, int] = {self.graph.entry.id: 0}
+        conflict: set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for block in self.order:
+                if block.id not in depth_in:
+                    continue
+                depth = depth_in[block.id]
+                if block.id in conflict:
+                    continue
+                for node in block.nodes:
+                    if node.op == "monitorenter":
+                        depth += 1
+                    elif node.op == "monitorexit":
+                        depth -= 1
+                        if depth < 0:
+                            break
+                if depth < 0:
+                    if block.id not in conflict:
+                        conflict.add(block.id)
+                        self.issue(
+                            f"monitor depth goes negative in B{block.id}",
+                            pc=block.bc_pc)
+                    continue
+                t = block.terminator
+                if t[0] == "return" and depth != 0:
+                    self.issue(
+                        f"B{block.id} returns with monitor depth {depth} "
+                        "(unbalanced monitorenter)", pc=block.bc_pc)
+                    conflict.add(block.id)
+                    continue
+                for succ in block.successors:
+                    prev = depth_in.get(succ.id)
+                    if prev is None:
+                        depth_in[succ.id] = depth
+                        changed = True
+                    elif prev != depth and succ.id not in conflict:
+                        conflict.add(succ.id)
+                        self.issue(
+                            f"monitor depth mismatch at merge B{succ.id}: "
+                            f"{prev} vs {depth}", pc=succ.bc_pc)

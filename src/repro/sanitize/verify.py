@@ -1,16 +1,29 @@
 """Structural bytecode verifier.
 
-Four checks over one method's code, all phrased as dataflow problems on
+Six checks over one method's code, all phrased as dataflow problems on
 the shared CFG:
 
 - **stack balance** — the operand-stack depth at every pc must be
   merge-consistent and never underflow (errors),
+- **stack-map consistency** — beyond depth, the *type kind* of each
+  stack slot (num / str / ref / null) must agree across the paths into
+  a merge point: a slot that is a number on one path and an object
+  reference on another would make the merged value unusable by either
+  consumer (warnings — the guest ISA is untyped, so kind conflicts are
+  suspicious codegen, not hard faults),
 - **monitor balance** — MONITORENTER/MONITOREXIT nesting must be
   merge-consistent, never negative, and zero at every return (errors;
   :func:`check_monitor_balance` is the cheap load-time subset wired into
   :meth:`repro.jvm.classfile.JMethod.validate`),
 - **unreachable code** — blocks no path reaches (warnings: the guest
   codegen legitimately emits e.g. a ``return`` after an infinite loop),
+- **unwind epilogue well-formedness** — this ISA has no exception
+  tables; the codegen's implicit epilogue blocks (the monitor-unwind +
+  return safety net appended to synchronized bodies) play the role of
+  exception handlers.  Instead of skipping them silently the verifier
+  checks they are shaped like unwind code: they must end in a return
+  and must not drain more monitors than the method can ever hold
+  (warnings — the reachability analogue of a dead/garbled handler),
 - **use-before-def locals** — a LOAD from a slot not definitely assigned
   on every path from entry (errors; argument slots count as assigned).
 """
@@ -79,6 +92,75 @@ def _depth_problem(effect, boundary=0):
         return fact + effect(instr)
 
     return DataflowProblem("forward", boundary, join, transfer)
+
+
+# ---------------------------------------------------------------- kinds
+#: Merge sentinel for the stack-map lattice: depth mismatch or underflow
+#: (both already reported as errors by the depth analysis).
+_KIND_CONFLICT = "<conflict>"
+
+#: Ops whose single pushed result is always numeric.
+_NUM_RESULT = frozenset({
+    Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.SHL, Op.SHR, Op.AND, Op.OR,
+    Op.XOR, Op.CMP, Op.NEG, Op.NOT, Op.I2D, Op.D2I, Op.INSTANCEOF,
+    Op.ARRAYLEN,
+})
+
+#: Ops whose pushed result is always an object reference.
+_REF_RESULT = frozenset({Op.NEW, Op.NEWARRAY, Op.CHECKCAST})
+
+#: Kind groups compatible at a merge: ``null`` flows into any reference
+#: slot (``var x = null; ... x = new Box();`` is normal guest code).
+_KIND_GROUP = {"num": "num", "str": "str", "ref": "ref", "null": "ref"}
+
+
+def _result_kind(instr: Instr, popped: list) -> str:
+    """Kind of the value ``instr`` pushes, given the kinds it popped."""
+    op = instr.op
+    if op is Op.CONST:
+        value = instr.arg
+        if value is None:
+            return "null"
+        if isinstance(value, str):
+            return "str"
+        return "num"
+    if op is Op.ADD:
+        # ADD doubles as string concatenation in the guest language.
+        if "str" in popped:
+            return "str"
+        if all(kind == "num" for kind in popped):
+            return "num"
+        return "any"
+    if op in _NUM_RESULT:
+        return "num"
+    if op in _REF_RESULT:
+        return "ref"
+    # LOAD/GETFIELD/ALOAD/invokes/atomics: statically unknown.
+    return "any"
+
+
+def _kind_transfer(fact, instr: Instr, pc: int):
+    if fact == _KIND_CONFLICT:
+        return fact
+    stack = list(fact)
+    pops, pushes = stack_effect(instr)
+    if pops > len(stack):
+        return _KIND_CONFLICT      # underflow — the depth pass errors
+    if instr.op is Op.DUP:
+        stack.append(stack[-1])
+    elif instr.op is Op.SWAP:
+        stack[-1], stack[-2] = stack[-2], stack[-1]
+    else:
+        popped = stack[len(stack) - pops:]
+        del stack[len(stack) - pops:]
+        stack.extend(_result_kind(instr, popped) for _ in range(pushes))
+    return tuple(stack)
+
+
+def _kind_join(a, b):
+    if a == _KIND_CONFLICT or b == _KIND_CONFLICT or len(a) != len(b):
+        return _KIND_CONFLICT
+    return tuple(x if x == y else "any" for x, y in zip(a, b))
 
 
 def check_monitor_balance(code: list[Instr], qualified: str = "?") -> None:
@@ -154,6 +236,33 @@ def verify_method(method) -> list[StaticIssue]:
                 break
             depth += pushes - pops
 
+    # --------------------------------------------------------- stack map
+    # Per-slot type-kind consistency at merge points.  The depth pass
+    # above guarantees shape; this catches a slot that is e.g. a number
+    # on one inbound path and an object reference on another — today
+    # that was only visible when the depths *also* disagreed.
+    kinds = solve(cfg, DataflowProblem(
+        "forward", (), _kind_join, _kind_transfer, name="stackmap"))
+    reachable_idx = {b.index for b in cfg.rpo()}
+    for block in cfg.rpo():
+        preds = [p for p in block.preds if p in reachable_idx]
+        if len(preds) < 2:
+            continue
+        inbound = [kinds.out_facts[p] for p in preds]
+        if any(fact is None or fact == _KIND_CONFLICT for fact in inbound):
+            continue
+        depths = {len(fact) for fact in inbound}
+        if len(depths) != 1:
+            continue               # depth mismatch already reported
+        for slot in range(depths.pop()):
+            groups = {_KIND_GROUP[fact[slot]] for fact in inbound
+                      if fact[slot] != "any"}
+            if len(groups) > 1:
+                a, b = sorted(groups)
+                issue("warning", block.start,
+                      f"stack map mismatch at merge: slot {slot} is "
+                      f"{a} on one path, {b} on another")
+
     # ----------------------------------------------------------- monitor
     monitor = solve(cfg, _depth_problem(
         lambda i: 1 if i.op is Op.MONITORENTER
@@ -181,13 +290,37 @@ def verify_method(method) -> list[StaticIssue]:
     # The codegen appends an implicit epilogue to every method (a final
     # RETURN, plus monitor unwinds for synchronized bodies) so code can
     # never fall off the end holding a lock; an unreachable block made
-    # only of those ops is that safety net, not guest logic.
+    # only of those ops is that safety net, not guest logic.  This ISA
+    # has no exception tables, so those epilogues are its handlers —
+    # rather than skipping them silently, check they are *shaped* like
+    # unwind code: they must return, and must not drain more monitors
+    # than the method can ever hold (the handler-reachability analogue).
+    max_depth = 0
+    for block in cfg.rpo():
+        depth = monitor.in_facts[block.index]
+        if depth is None or depth == _CONFLICT:
+            continue
+        for pc in block.pcs():
+            if code[pc].op is Op.MONITORENTER:
+                depth += 1
+                max_depth = max(max_depth, depth)
+            elif code[pc].op is Op.MONITOREXIT:
+                depth -= 1
     reachable = {b.index for b in cfg.rpo()}
     epilogue = (Op.CONST, Op.LOAD, Op.MONITOREXIT, Op.RETURN, Op.RETVAL)
     for block in cfg.blocks:
         if block.index in reachable:
             continue
         if all(code[pc].op in epilogue for pc in block.pcs()):
+            if code[block.end - 1].op not in (Op.RETURN, Op.RETVAL):
+                issue("warning", block.start,
+                      "unwind epilogue does not end in a return")
+            drains = sum(1 for pc in block.pcs()
+                         if code[pc].op is Op.MONITOREXIT)
+            if drains > max_depth:
+                issue("warning", block.start,
+                      f"unwind epilogue drains {drains} monitor(s) but "
+                      f"the method holds at most {max_depth}")
             continue
         issue("warning", block.start, "unreachable code")
 

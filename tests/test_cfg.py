@@ -1,0 +1,224 @@
+"""Edge-case tests for repro.sanitize.cfg — single-instruction methods,
+back-edge-only loops, unreachable handler/epilogue blocks, and
+irreducible-looking shapes — plus the bytecode verifier's stack-map and
+unwind-epilogue checks that lean on those CFG corners."""
+
+from repro.jvm.bytecode import Instr, Op
+from repro.jvm.classfile import JMethod
+from repro.sanitize import build_cfg, dominators, verify_method
+
+
+def method_of(code, *, params=0, max_locals=None, name="m"):
+    nargs = params   # static methods: no receiver slot
+    return JMethod(name, "C", params, code, static=True,
+                   max_locals=nargs if max_locals is None else max_locals)
+
+
+# ----------------------------------------------------------------------
+# Single-instruction methods.
+# ----------------------------------------------------------------------
+
+def test_single_instruction_method():
+    cfg = build_cfg([Instr(Op.RETURN)])
+    assert len(cfg.blocks) == 1
+    block = cfg.block_of(0)
+    assert (block.start, block.end) == (0, 1)
+    assert block.succs == [] and block.preds == []
+    assert cfg.rpo() == [block]
+    assert dominators(cfg) == {block.index: frozenset({block.index})}
+
+
+def test_single_instruction_method_verifies_clean():
+    assert verify_method(method_of([Instr(Op.RETURN)])) == []
+
+
+def test_single_instruction_self_loop():
+    # GOTO 0 is a one-instruction block whose only edge is itself.
+    cfg = build_cfg([Instr(Op.GOTO, 0)])
+    block = cfg.block_of(0)
+    assert block.succs == [block.index]
+    assert block.preds == [block.index]
+    assert cfg.rpo() == [block]                 # terminates, visits once
+    assert dominators(cfg)[block.index] == frozenset({block.index})
+
+
+# ----------------------------------------------------------------------
+# Back-edge-only loops.
+# ----------------------------------------------------------------------
+
+def test_back_edge_only_block():
+    # An infinite straight-line loop: one maximal block, self edge.
+    code = [Instr(Op.CONST, 1), Instr(Op.POP), Instr(Op.GOTO, 0)]
+    cfg = build_cfg(code)
+    assert len(cfg.blocks) == 1
+    block = cfg.block_of(2)
+    assert block.succs == [block.index]
+    assert cfg.reachable() == [block]
+
+
+def test_back_edge_into_entry():
+    # The conditional back edge targets pc 0, making the entry block a
+    # loop header that is its own predecessor.
+    code = [
+        Instr(Op.CONST, 1),            # 0
+        Instr(Op.IFZ, ("==", 0)),      # 1: back edge to entry
+        Instr(Op.RETURN),              # 2
+    ]
+    cfg = build_cfg(code)
+    entry = cfg.block_of(0)
+    exit_ = cfg.block_of(2)
+    assert entry.index in entry.preds
+    assert sorted(entry.succs) == sorted([entry.index, exit_.index])
+    dom = dominators(cfg)
+    # The loop does not add the body to its own dominator set, and the
+    # exit is dominated by the header alone.
+    assert dom[entry.index] == frozenset({entry.index})
+    assert dom[exit_.index] == frozenset({entry.index, exit_.index})
+
+
+# ----------------------------------------------------------------------
+# Unreachable handler/epilogue blocks.
+# ----------------------------------------------------------------------
+
+def test_unreachable_block_kept_but_excluded_from_analysis():
+    code = [Instr(Op.RETURN),                       # 0: only reachable pc
+            Instr(Op.LOAD, 0), Instr(Op.MONITOREXIT),
+            Instr(Op.RETURN)]                       # 1-3: dead handler
+    cfg = build_cfg(code)
+    assert len(cfg.blocks) == 2
+    dead = cfg.block_of(2)
+    assert dead not in cfg.rpo()
+    assert dead not in cfg.reachable()
+    assert dead.index not in dominators(cfg)        # absent, not empty
+    assert cfg.block_of(1) is dead                  # pc mapping still works
+
+
+def test_dominators_ignore_edges_from_unreachable_blocks():
+    # The dead block jumps INTO the live diamond; its edge must not
+    # perturb the dominator sets of reachable blocks.
+    code = [
+        Instr(Op.CONST, 1),            # 0
+        Instr(Op.IFZ, ("==", 4)),      # 1
+        Instr(Op.CONST, 2),            # 2
+        Instr(Op.GOTO, 5),             # 3
+        Instr(Op.CONST, 3),            # 4
+        Instr(Op.RETURN),              # 5: merge
+        Instr(Op.GOTO, 5),             # 6: unreachable, edges into merge
+    ]
+    cfg = build_cfg(code)
+    merge = cfg.block_of(5)
+    dead = cfg.block_of(6)
+    assert dead.index in merge.preds                # edge exists...
+    dom = dominators(cfg)
+    assert dead.index not in dom                    # ...but is not solved
+    assert cfg.block_of(0).index in dom[merge.index]
+
+
+# ----------------------------------------------------------------------
+# Irreducible-looking shapes.
+# ----------------------------------------------------------------------
+
+def test_irreducible_cross_jumps_have_no_false_dominators():
+    # entry -> A and entry -> B, with A -> B and B -> A: a loop with two
+    # entries.  Neither A nor B dominates the other; the iterative
+    # solver must converge without inventing a header.
+    code = [
+        Instr(Op.CONST, 0),            # 0
+        Instr(Op.IFZ, ("==", 5)),      # 1: -> 2 (A) or 5 (B)
+        Instr(Op.CONST, 1),            # 2: A
+        Instr(Op.POP),                 # 3
+        Instr(Op.GOTO, 5),             # 4: A -> B
+        Instr(Op.CONST, 2),            # 5: B
+        Instr(Op.POP),                 # 6
+        Instr(Op.GOTO, 2),             # 7: B -> A
+    ]
+    cfg = build_cfg(code)
+    entry = cfg.block_of(0).index
+    a = cfg.block_of(2).index
+    b = cfg.block_of(5).index
+    dom = dominators(cfg)
+    assert dom[a] == frozenset({entry, a})
+    assert dom[b] == frozenset({entry, b})
+    assert {blk.index for blk in cfg.rpo()} == {entry, a, b}
+
+
+# ----------------------------------------------------------------------
+# Stack-map consistency at merges.
+# ----------------------------------------------------------------------
+
+def test_stack_map_mismatch_at_merge_warns():
+    # Slot 0 is a number on one inbound path and an object reference on
+    # the other — same depth, so only the kind pass can see it.
+    code = [
+        Instr(Op.CONST, 1),            # 0
+        Instr(Op.IFZ, ("==", 4)),      # 1
+        Instr(Op.CONST, 2),            # 2: pushes num
+        Instr(Op.GOTO, 5),             # 3
+        Instr(Op.NEW, "Box"),          # 4: pushes ref
+        Instr(Op.POP),                 # 5: merge
+        Instr(Op.RETURN),              # 6
+    ]
+    issues = verify_method(method_of(code))
+    assert any("stack map mismatch at merge: slot 0 is num on one "
+               "path, ref on another" == i.message for i in issues)
+    assert all(i.severity == "warning" for i in issues)
+
+
+def test_stack_map_null_joins_reference_cleanly():
+    # `null` flowing into a reference slot is ordinary guest code and
+    # must not be reported.
+    code = [
+        Instr(Op.CONST, 1),            # 0
+        Instr(Op.IFZ, ("==", 4)),      # 1
+        Instr(Op.CONST, None),         # 2: pushes null
+        Instr(Op.GOTO, 5),             # 3
+        Instr(Op.NEW, "Box"),          # 4: pushes ref
+        Instr(Op.POP),                 # 5: merge
+        Instr(Op.RETURN),              # 6
+    ]
+    assert verify_method(method_of(code)) == []
+
+
+# ----------------------------------------------------------------------
+# Unwind-epilogue well-formedness (the handler-reachability checks).
+# ----------------------------------------------------------------------
+
+def test_unwind_epilogue_must_end_in_return():
+    code = [
+        Instr(Op.GOTO, 4),                          # 0
+        Instr(Op.LOAD, 0), Instr(Op.MONITOREXIT),   # 1-2: dead epilogue...
+        Instr(Op.CONST, 0),                         # 3: ...with no return
+        Instr(Op.RETURN),                           # 4
+    ]
+    issues = verify_method(method_of(code, params=1))
+    assert any("unwind epilogue does not end in a return" == i.message
+               for i in issues)
+
+
+def test_unwind_epilogue_drain_budget_checked():
+    # The method holds at most one monitor but its dead epilogue drains
+    # two: shaped like a handler for a lock the method can never hold.
+    code = [
+        Instr(Op.LOAD, 0), Instr(Op.MONITORENTER),      # 0-1
+        Instr(Op.LOAD, 0), Instr(Op.MONITOREXIT),       # 2-3
+        Instr(Op.RETURN),                               # 4
+        Instr(Op.LOAD, 0), Instr(Op.MONITOREXIT),       # 5-6: dead
+        Instr(Op.LOAD, 0), Instr(Op.MONITOREXIT),       # 7-8
+        Instr(Op.RETURN),                               # 9
+    ]
+    issues = verify_method(method_of(code, params=1))
+    assert any("drains 2 monitor(s)" in i.message and
+               "at most 1" in i.message for i in issues)
+
+
+def test_wellformed_unwind_epilogue_is_silent():
+    # A synchronized-shaped method with a matching one-monitor unwind
+    # epilogue: the safety net is recognized, not reported.
+    code = [
+        Instr(Op.LOAD, 0), Instr(Op.MONITORENTER),
+        Instr(Op.LOAD, 0), Instr(Op.MONITOREXIT),
+        Instr(Op.RETURN),
+        Instr(Op.LOAD, 0), Instr(Op.MONITOREXIT),
+        Instr(Op.RETURN),
+    ]
+    assert verify_method(method_of(code, params=1)) == []
