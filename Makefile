@@ -45,9 +45,17 @@ tier1:
 	PYTHONPATH=src python -m pytest -q tests/test_tier1.py
 	python benchmarks/selfbench.py --check
 
-# Self-benchmark: time the simulator itself (reference, threaded and
-# tier-1 engines) over a fixed workload slice and (re)write the
-# committed BENCH_interpreter.json baseline.
+# Tier-2 engine focus: the three-tier-ladder test suite (equivalence
+# oracle, forced-deopt fuzz, OSR, rematerialization) plus the selfbench
+# check that gates tier2 at ≥1.5x tier1 ops/sec on the jitted slice
+# and its host compile pauses against the budget.
+tier2:
+	PYTHONPATH=src python -m pytest -q tests/test_tier2.py
+	python benchmarks/selfbench.py --check
+
+# Self-benchmark: time the simulator itself (reference, threaded,
+# tier-1 and tier-2 engines) over a fixed workload slice and (re)write
+# the committed BENCH_interpreter.json baseline.
 bench:
 	python benchmarks/selfbench.py
 
@@ -56,8 +64,10 @@ bench:
 # blew its overhead budget (disabled ≤5%, enabled ≤15%), or if the
 # compiler-verification layer blew its budget (verify_ir disabled ≤5%,
 # enabled ≤10% on a standard-length compile-inclusive run), or if the
-# tier-1 engine fell below 2.5x threaded ops/sec.  Never gates
-# tier-1 (host timing is machine-dependent).
+# tier-1 engine fell below 2.5x threaded ops/sec, or if the tier-2
+# engine fell below 1.5x tier-1 on the jitted slice or blew its
+# compile-pause budget.  Never gates tier-1 (host timing is
+# machine-dependent).
 bench-check:
 	python benchmarks/selfbench.py --check
 
@@ -70,4 +80,4 @@ trace:
 		--out .trace-out --warmup 1 --measure 1
 	@ls -l .trace-out
 
-.PHONY: test chaos sanitize lint verify-ir tier1 bench bench-check trace
+.PHONY: test chaos sanitize lint verify-ir tier1 tier2 bench bench-check trace

@@ -1,13 +1,17 @@
 """Self-benchmark: time the simulator itself, not the guest.
 
 ``python benchmarks/selfbench.py`` runs a fixed slice of suite
-workloads on all three host engines (reference ``elif`` dispatch, the
-threaded-code engine, and the tier-1 superblock engine) and writes
-``BENCH_interpreter.json`` with ops/sec (executed bytecodes per host
-second) and wall time per suite slice.  The committed baseline lets
-``make bench-check`` flag host-side performance regressions >10%
+workloads on all four host engines (reference ``elif`` dispatch, the
+threaded-code engine, the tier-1 superblock engine, and the tier-2
+engine that additionally host-compiles guest-JIT machine code) and
+writes ``BENCH_interpreter.json`` with ops/sec (executed bytecodes per
+host second) and wall time per suite slice.  The committed baseline
+lets ``make bench-check`` flag host-side performance regressions >10%
 without any external tooling; ``--check`` additionally gates the tier-1
-engine at ≥2.5x the threaded engine's suite ops/sec.
+engine at ≥2.5x the threaded engine's suite ops/sec, the tier-2 engine
+at ≥1.5x tier-1 on a *jitted* slice (with ``jit=None`` the two are
+identical — no machine frames), and tier-2's host compile pauses
+against a fixed budget.
 
 It also measures the flight recorder's overhead budget (repro.trace):
 the same slice runs untraced, with a recorder attached but every
@@ -232,8 +236,12 @@ def verify_overhead(reps: int = REPS, invocations: int = 10) -> dict:
     return out
 
 
-#: The three host engines, measured in ladder order.
-ENGINES = ("reference", "threaded", "tier1")
+#: The four host engines, measured in ladder order.  With ``jit=None``
+#: the tier-2 engine has no machine frames to host-compile, so its row
+#: documents that the extra tier costs nothing when idle (≈ tier-1);
+#: its real speedup is measured on the jitted slice by
+#: :func:`tier2_jit_section`.
+ENGINES = ("reference", "threaded", "tier1", "tier2")
 
 
 def time_engines(bench, reps: int = REPS) -> dict:
@@ -265,6 +273,77 @@ def time_engines(bench, reps: int = REPS) -> dict:
             for engine, (wall, instructions) in out.items()}
 
 
+def tier2_jit_section(reps: int = REPS) -> dict:
+    """Tier-2 vs tier-1 on *jitted* workloads — the tier-2 floor's home.
+
+    With ``jit=None`` the two engines are identical (no machine frames),
+    so the floor must be measured where the guest JIT actually compiles:
+    one warm VM per engine with ``jit="graal"``, the warmup invocation
+    bringing both the guest JIT and the host tiers to steady state, then
+    the usual interleaved best-of-reps timing.  Also collects the host
+    compile pauses (``Tier2Stats.compile_seconds``): tier-2's source-gen
+    + exec happens on the application thread, so the total pause over
+    the slice is gated as a compile-pause budget.
+    """
+    engines = ("tier1", "tier2")
+    per_bench = {}
+    totals = {engine: 0.0 for engine in engines}
+    total_instructions = 0
+    compile_seconds = 0.0
+    for bench in _resolve_workloads():
+        vms = {}
+        for engine in engines:
+            vm = VM(jit="graal", engine=engine, schedule_seed=0)
+            vm.load(bench.compile())
+            vm.invoke(bench.entry, list(bench.args))   # warmup + compile
+            vms[engine] = vm
+        best = {engine: [float("inf"), 0] for engine in engines}
+        for _ in range(reps):
+            for engine, vm in vms.items():
+                before = vm.counters.instructions
+                started = time.perf_counter()
+                vm.invoke(bench.entry, list(bench.args))
+                elapsed = time.perf_counter() - started
+                if elapsed < best[engine][0]:
+                    best[engine] = [elapsed,
+                                    vm.counters.instructions - before]
+        row = {}
+        for engine in engines:
+            wall, instructions = best[engine]
+            row[engine] = {
+                "ops_per_sec": round(instructions / wall),
+                "wall_seconds": round(wall, 6),
+                "instructions": instructions,
+            }
+            totals[engine] += wall
+        total_instructions += row["tier1"]["instructions"]
+        row["speedup"] = round(
+            row["tier2"]["ops_per_sec"] / row["tier1"]["ops_per_sec"], 3)
+        stats = vms["tier2"].machine.stats
+        compile_seconds += stats.compile_seconds
+        per_bench[bench.name] = row
+        print(f"{bench.name:18s} [jit] tier1 "
+              f"{row['tier1']['ops_per_sec'] / 1e6:6.2f}M ops/s   tier2 "
+              f"{row['tier2']['ops_per_sec'] / 1e6:6.2f}M ops/s   "
+              f"({row['speedup']:.2f}x)")
+    out = {
+        "instructions": total_instructions,
+        "workloads": per_bench,
+        "compile_seconds": round(compile_seconds, 6),
+        "speedup": round(totals["tier1"] / totals["tier2"], 3)
+        if totals["tier2"] else 0.0,
+    }
+    for engine in engines:
+        out[engine] = {
+            "wall_seconds": round(totals[engine], 6),
+            "ops_per_sec": round(total_instructions / totals[engine])
+            if totals[engine] else 0,
+        }
+    print(f"tier2 jitted slice: {out['speedup']:.2f}x over tier1, "
+          f"{compile_seconds * 1000:.1f}ms compile pauses")
+    return out
+
+
 def run(out_path: Path) -> dict:
     per_bench = {}
     totals = {engine: 0.0 for engine in ENGINES}
@@ -292,6 +371,7 @@ def run(out_path: Path) -> dict:
               f"{row['reference']['ops_per_sec'] / 1e6:6.2f}M ops/s   "
               f"threaded {row['threaded']['ops_per_sec'] / 1e6:6.2f}M ops/s"
               f"   tier1 {row['tier1']['ops_per_sec'] / 1e6:6.2f}M ops/s"
+              f"   tier2 {row['tier2']['ops_per_sec'] / 1e6:6.2f}M ops/s"
               f"   ({row['speedup']:.2f}x / {row['tier1_speedup']:.2f}x)")
 
     suite = {"instructions": total_instructions}
@@ -307,11 +387,17 @@ def run(out_path: Path) -> dict:
     suite["tier1_speedup"] = round(
         totals["threaded"] / totals["tier1"], 3) \
         if totals["tier1"] else 0.0
+    # Idle ratio: tier-2 with jit=None must track tier-1 (no machine
+    # frames, no extra cost) — the jitted floor lives in tier2_jit.
+    suite["tier2_idle_ratio"] = round(
+        totals["tier1"] / totals["tier2"], 3) \
+        if totals["tier2"] else 0.0
     doc = {
         "schema": "selfbench/1",
         "trace_overhead": trace_overhead(),
         "durable_overhead": durable_overhead(),
         "verify_overhead": verify_overhead(),
+        "tier2_jit": tier2_jit_section(),
         "workloads": per_bench,
         "suite": suite,
     }
@@ -347,6 +433,18 @@ VERIFY_ENABLED_CEILING = 0.10
 
 #: Tier-1 engine must deliver at least this suite speedup over threaded.
 TIER1_SPEEDUP_FLOOR = 2.5
+
+#: Tier-2 engine must deliver at least this speedup over tier-1 on the
+#: jitted slice (ISSUE 9 contract) — measured where the guest JIT has
+#: actually produced machine code for tier-2 to host-compile.
+TIER2_SPEEDUP_FLOOR = 1.5
+
+#: Total host compile pauses (source-gen + exec on the application
+#: thread, ``Tier2Stats.compile_seconds``) the tier-2 engine may spend
+#: over the jitted slice.  Measured ~0.2-0.4s on the shared CI boxes;
+#: a runaway emitter (quadratic scan, per-instruction recompiles) blows
+#: past this immediately.
+TIER2_COMPILE_PAUSE_BUDGET = 1.5
 
 
 def check(current: dict, baseline_path: Path,
@@ -397,11 +495,27 @@ def check(current: dict, baseline_path: Path,
               f"(floor {TIER1_SPEEDUP_FLOOR:.1f}x): {verdict}")
         if tier1_speedup < TIER1_SPEEDUP_FLOOR:
             failed = 1
+    tier2 = current.get("tier2_jit")
+    if tier2 is not None:
+        speedup = tier2["speedup"]
+        verdict = "ok" if speedup >= TIER2_SPEEDUP_FLOOR else "REGRESSION"
+        print(f"bench-check: tier2 {speedup:.2f}x over tier1 on the "
+              f"jitted slice (floor {TIER2_SPEEDUP_FLOOR:.1f}x): {verdict}")
+        if speedup < TIER2_SPEEDUP_FLOOR:
+            failed = 1
+        pauses = tier2["compile_seconds"]
+        verdict = "ok" if pauses <= TIER2_COMPILE_PAUSE_BUDGET \
+            else "REGRESSION"
+        print(f"bench-check: tier2 compile pauses {pauses * 1000:.1f}ms "
+              f"(budget {TIER2_COMPILE_PAUSE_BUDGET * 1000:.0f}ms): "
+              f"{verdict}")
+        if pauses > TIER2_COMPILE_PAUSE_BUDGET:
+            failed = 1
     if not baseline_path.exists():
         print(f"no committed baseline at {baseline_path}; skipping check")
         return failed
     baseline = json.loads(baseline_path.read_text())
-    for engine in ("threaded", "tier1"):
+    for engine in ("threaded", "tier1", "tier2"):
         base = baseline["suite"].get(engine)
         if base is None:              # baseline predates this engine
             continue

@@ -263,6 +263,7 @@ class SuiteResult:
             "races": len(self.racy),
             "durable": dict(self.durable) if self.durable else None,
             "tier1": self.tier1_summary(),
+            "tier2": self.tier2_summary(),
         }
 
     def tier1_summary(self) -> dict | None:
@@ -278,6 +279,30 @@ class SuiteResult:
             "promotions": sum(s["promotions"] for s in snaps),
             "compiled_blocks": sum(s["compiled_blocks"] for s in snaps),
             "compile_cycles": sum(s["compile_cycles"] for s in snaps),
+            "deopts": deopts,
+        }
+
+    def tier2_summary(self) -> dict | None:
+        """Aggregate host tier-2 stats across results; None off-tier.
+
+        Zero-activity snapshots (``engine="tier2"`` with ``jit=None``
+        never promotes anything) still count as on-tier: the summary
+        reports zeros rather than None so a sweep that *ran* tier-2
+        is distinguishable from one that couldn't."""
+        snaps = [r.tier2 for r in self.results if r.tier2 is not None]
+        if not snaps:
+            return None
+        deopts: dict[str, int] = {}
+        for snap in snaps:
+            for reason, count in snap["deopts"].items():
+                deopts[reason] = deopts.get(reason, 0) + count
+        return {
+            "promotions": sum(s["promotions"] for s in snaps),
+            "compiled_blocks": sum(s["compiled_blocks"] for s in snaps),
+            "osr_entries": sum(s["osr_entries"] for s in snaps),
+            "compile_cycles": sum(s["compile_cycles"] for s in snaps),
+            "compile_seconds": round(
+                sum(s["compile_seconds"] for s in snaps), 6),
             "deopts": deopts,
         }
 

@@ -92,10 +92,12 @@ def main(argv=None) -> int:
     parser.add_argument("--jit", default="graal",
                         help='"graal", "c2" or "none" (interpreter only)')
     parser.add_argument("--engine", default="threaded",
-                        choices=("reference", "threaded", "tier1"),
+                        choices=("reference", "threaded", "tier1", "tier2"),
                         help="host execution engine (byte-identical "
                              "results; tier1 compiles hot methods to "
-                             "superblock closures)")
+                             "superblock closures, tier2 additionally "
+                             "host-compiles guest-JIT machine code with "
+                             "OSR and a deopt chain)")
     parser.add_argument("--cores", type=int, default=8,
                         help="simulated cores per VM")
     parser.add_argument("--seed", type=int, default=0,
@@ -179,6 +181,14 @@ def main(argv=None) -> int:
         print(f"tier1: {tier1['promotions']} promotions, "
               f"{tier1['compiled_blocks']} superblocks, {deopts} deopts, "
               f"{tier1['compile_cycles']} compile cycles")
+    tier2 = suite.tier2_summary()
+    if tier2:
+        deopts = sum(tier2["deopts"].values())
+        print(f"tier2: {tier2['promotions']} promotions, "
+              f"{tier2['compiled_blocks']} superblocks, "
+              f"{tier2['osr_entries']} OSR entries, {deopts} deopts, "
+              f"{tier2['compile_cycles']} compile cycles "
+              f"({tier2['compile_seconds']:.3f}s host compile)")
     print(f"host wall time: {host_seconds:.2f}s (jobs={args.jobs})")
 
     code = exit_code(suite)

@@ -45,7 +45,7 @@ class GuestBenchmark:
 
 # Compiled-program cache.  A plain ``lru_cache(maxsize=256)`` thrashes
 # under parametrized test sweeps: hundreds of small one-off sources
-# evict the 68 (expensive) suite benchmarks mid-session and every
+# evict the 70 (expensive) suite benchmarks mid-session and every
 # subsequent Runner recompiles them.  Instead: a true-LRU OrderedDict
 # sized comfortably above the suite corpus, with an explicit clear knob.
 _COMPILE_CACHE: OrderedDict[str, object] = OrderedDict()
@@ -112,6 +112,7 @@ class RunResult:
     vm: object = None
     trace: object = None      # summary dict set by repro.trace.TracePlugin
     tier1: object = None      # host tier-1 snapshot when engine="tier1"
+    tier2: object = None      # host tier-2 snapshot when engine="tier2"
 
     @property
     def mean_wall(self) -> float:
@@ -139,10 +140,10 @@ class RunResult:
         config, seed) unit fingerprint identically, whether they ran
         serially, in a shard, or were resumed from the durable store;
         ``tests/test_durable.py`` leans on this for its byte-identity
-        assertions.  The host execution engine and its ``tier1``
-        snapshot are deliberately excluded: a unit must fingerprint
-        the same under every engine, which is exactly the tier ladder's
-        byte-identity contract (DESIGN.md §11).
+        assertions.  The host execution engine and its ``tier1``/
+        ``tier2`` snapshots are deliberately excluded: a unit must
+        fingerprint the same under every engine, which is exactly the
+        tier ladder's byte-identity contract (DESIGN.md §11, §13).
         """
         import hashlib
         import json
@@ -203,10 +204,11 @@ class Runner:
     ``runner.sanitize_plugin.report``.
 
     ``engine`` selects the host execution engine — ``"threaded"`` (the
-    default), ``"reference"`` (the oracle) or ``"tier1"`` (superblock
-    closures with deopt fallback).  The choice is pure host-side speed:
-    counters, schedules, results and fingerprints are byte-identical
-    across engines.
+    default), ``"reference"`` (the oracle), ``"tier1"`` (superblock
+    closures with deopt fallback) or ``"tier2"`` (tier-1 plus host
+    compilation of guest-JIT machine code, with OSR and a deopt chain).
+    The choice is pure host-side speed: counters, schedules, results
+    and fingerprints are byte-identical across engines.
 
     ``verify_ir`` turns on the compiler verification layer
     (:mod:`repro.sanitize.irverify`): every guest-JIT compile re-checks
@@ -277,6 +279,9 @@ class Runner:
         snapshot = getattr(vm.interpreter, "tier1_snapshot", None)
         if snapshot is not None:
             result.tier1 = snapshot()
+        snapshot = getattr(vm.interpreter, "tier2_snapshot", None)
+        if snapshot is not None:
+            result.tier2 = snapshot()
 
         for plugin in self.plugins:
             plugin.after_run(vm, bench, result)

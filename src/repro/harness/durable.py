@@ -55,6 +55,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.report import FailureReport
 from repro.harness.core import GuestBenchmark, config_name
 from repro.harness.journal import Journal
+from repro.jvm.tier2 import TIER_LADDERS
 from repro.harness.store import (
     ResultStore,
     canonical_digest,
@@ -182,6 +183,12 @@ def _config_fingerprint(kwargs: dict, faults, plugins: tuple) -> dict:
         # is byte-identical to an unverified one and may serve a resume
         # either way.
         "engine": kwargs.get("engine", "threaded"),
+        # The engine's full promotion ladder rides along so a journal
+        # written before a tier was added (or with a different ladder
+        # for the same engine name) never serves units to a resume that
+        # would now run under different tiering.
+        "tier_ladder": list(TIER_LADDERS.get(
+            kwargs.get("engine", "threaded"), ())),
     }
     return json.loads(json.dumps(fingerprint, sort_keys=True))
 

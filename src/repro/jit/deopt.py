@@ -60,6 +60,46 @@ def tier1_deopt(engine, method, frame, pc: int, reason: str = "forced"):
     raise Tier1Deopt(method, pc, reason)
 
 
+class Tier2Deopt(Exception):
+    """Host-level control transfer: a tier-2 superblock bails out.
+
+    The tier-2 analogue of :class:`Tier1Deopt`: raised by
+    :func:`tier2_deopt` from inside a closure emitted by
+    :mod:`repro.jit.emit2` after the block has flushed its batched
+    counters and parked ``frame.pc`` at the exact machine-code index.
+    The tier-2 driver catches it and resumes the *same*
+    :class:`~repro.jit.machine.MachineFrame` on the interpretive
+    :class:`~repro.jit.machine.Machine`, which re-executes the trapped
+    instruction identically — the transition is invisible to the guest.
+    Real guard failures do NOT use this path: they go through
+    :func:`deoptimize` below, exactly as the interpretive machine does.
+    """
+
+    def __init__(self, method, pc: int, reason: str) -> None:
+        super().__init__(f"tier2 deopt {method.qualified}@{pc}: {reason}")
+        self.method = method
+        self.pc = pc
+        self.reason = reason
+
+
+def tier2_deopt(engine, code, frame, pc: int, reason: str = "forced"):
+    """Deopt tier-2 host code back to the interpretive machine.
+
+    The emitted block has already flushed batched accounting and parked
+    ``frame.pc`` on the trapped machine instruction, so ``frame`` is
+    byte-identical to the interpretive machine's state immediately
+    before executing that instruction.  Records the deopt on the
+    engine's host-side stats, invalidates the method's tier-2 closures
+    (the next promotion recompiles without the trap), and raises
+    :class:`Tier2Deopt` to unwind into the tier-2 dispatch loop.
+    Never returns.
+    """
+    deopts = engine.stats.deopts
+    deopts[reason] = deopts.get(reason, 0) + 1
+    engine.drop_code(code.method)
+    raise Tier2Deopt(code.method, pc, reason)
+
+
 def deoptimize(vm, thread, machine_frame, speculation_id, meta_index) -> None:
     counters = vm.counters
     counters.deopts += 1
@@ -72,6 +112,11 @@ def deoptimize(vm, thread, machine_frame, speculation_id, meta_index) -> None:
     method.compiled = None
     # Recompile soon, without the failed speculation.
     method.invocation_count = 0
+    # Tier-2 host closures specialize the invalidated machine code;
+    # drop them with it (the interpretive Machine has no drop_code).
+    drop_code = getattr(vm.machine, "drop_code", None)
+    if drop_code is not None:
+        drop_code(method)
     if vm.jit is not None:
         vm.jit.on_deopt(method)
     tr = vm.trace

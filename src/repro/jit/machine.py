@@ -18,6 +18,8 @@ Runtime responsibilities specific to compiled code:
 
 from __future__ import annotations
 
+import time
+
 from repro.errors import (
     GuestArithmeticError,
     GuestBoundsError,
@@ -25,7 +27,12 @@ from repro.errors import (
     GuestNullPointerError,
     VMError,
 )
-from repro.jvm.costmodel import alloc_cost
+from repro.jvm.cache import CompiledMethodCache
+from repro.jvm.costmodel import (
+    TIER2_COMPILE_BLOCK_COST,
+    TIER2_COMPILE_SITE_COST,
+    alloc_cost,
+)
 from repro.jvm.interpreter import _CMP, _rem_int, _truediv_int, guest_str
 from repro.jit import deopt as deopt_mod
 
@@ -410,3 +417,247 @@ class Machine:
             frame.pc += 1
             thread.budget -= cost
             counters.reference_cycles += cost
+
+
+#: Machine-frame slice entries before a CompiledCode is host-compiled by
+#: tier-2.  Deliberately tiny: a method only acquires guest-JIT machine
+#: code once it is already hot (32 invocations), and each scheduler
+#: slice that lands on the frame counts — so a hot loop crosses this on
+#: its second slice and promotes mid-run (on-stack replacement).
+TIER2_THRESHOLD = 2
+
+#: Memo sentinel: the tier-2 emitter declined this CompiledCode.
+_DECLINED = object()
+
+
+class Tier2Stats:
+    """Host-side tier-2 metrics (kept off the byte-identical Counters).
+
+    ``compile_seconds`` is host wall-clock spent inside the emitter —
+    the selfbench compile-pause budget gates on it.  Everything else is
+    simulated-bookkeeping, mirroring :class:`repro.jvm.tier1.Tier1Stats`.
+    """
+
+    __slots__ = ("promotions", "blocks", "sites", "compile_cycles",
+                 "osr_entries", "deopts", "methods", "compile_seconds")
+
+    def __init__(self) -> None:
+        self.promotions = 0
+        self.blocks = 0               # superblocks currently emitted
+        self.sites = 0                # machine-op sites emitted
+        self.compile_cycles = 0       # simulated-clock compile "time"
+        self.osr_entries = 0          # mid-method entries (promotion at
+        #                               pc != 0 + lazily extended blocks)
+        self.deopts = {"budget": 0, "exception": 0, "fault": 0,
+                       "forced": 0, "guard": 0}
+        self.methods: dict = {}       # qualified -> per-method record
+        self.compile_seconds = 0.0    # host wall-clock in the emitter
+
+    def snapshot(self) -> dict:
+        return {
+            "promotions": self.promotions,
+            "compiled_blocks": self.blocks,
+            "compiled_sites": self.sites,
+            "compile_cycles": self.compile_cycles,
+            "osr_entries": self.osr_entries,
+            "deopts": dict(self.deopts),
+            "compile_seconds": self.compile_seconds,
+            "methods": {name: dict(rec)
+                        for name, rec in sorted(self.methods.items())},
+        }
+
+
+class Tier2Machine(Machine):
+    """Machine-frame executor with host-compiled superblock closures.
+
+    Completes the three-tier ladder (DESIGN.md §13): interpreted frames
+    climb threaded → tier-1, and once the *guest* JIT compiles a method
+    (invocation threshold 32) its :class:`CompiledCode` lands here —
+    interpretively at first, then host-compiled by
+    :mod:`repro.jit.emit2` after :data:`TIER2_THRESHOLD` slice entries.
+    Promotion, execution and deopt are pure host-side concerns: the
+    interpretive :meth:`Machine.run_frame` remains the byte-identity
+    oracle, and every exit from emitted code restores exactly the
+    counter/budget/pc state the oracle would hold.
+
+    Deopt chain: a *guard* failure inside emitted code takes the guest
+    path (:func:`repro.jit.deopt.deoptimize` — frames rematerialized
+    from FrameState/VirtualObjectState recipes, fall back to the
+    tier-1/threaded bytecode ladder at the exact bytecode index); a
+    *forced trap* or block-internal fault takes the host path
+    (:class:`~repro.jit.deopt.Tier2Deopt`), which this driver catches to
+    resume the same machine frame interpretively at the exact machine
+    pc.  Entry tables grow lazily: any pc a frame parks on (budget
+    boundary mid-block, contended monitor) becomes a compiled entry on
+    next arrival — on-stack replacement at loop headers falls out.
+
+    Artifacts are cached under ``("tier2", method, config-digest)`` keys
+    — tier-2 code specializes the *optimized* output of one
+    :class:`~repro.jit.pipeline.JitConfig`, so a selective-disable
+    experiment can never be served closures compiled under different
+    flags.
+    """
+
+    tier = "tier2"
+
+    def __init__(self, vm, *, threshold: int = TIER2_THRESHOLD) -> None:
+        super().__init__(vm)
+        self.threshold = threshold
+        self.code_cache = CompiledMethodCache()
+        self.stats = Tier2Stats()
+        self._promotable = True
+        self._memo: dict = {}         # CompiledCode -> Tier2Code|_DECLINED
+        self._counts: dict = {}       # CompiledCode -> slice entries
+        self._forced: dict = {}       # JMethod -> one-shot trap machine pc
+        if vm.jit is not None:
+            from repro.jit.pipeline import config_digest
+
+            self._digest = config_digest(vm.jit.config)
+        else:
+            self._digest = None
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run_frame(self, thread, frame: MachineFrame) -> None:
+        code = frame.code
+        t2 = self._memo.get(code)
+        if t2 is None:
+            t2 = self._maybe_promote(code, frame)
+            if t2 is None:
+                Machine.run_frame(self, thread, frame)
+                return
+        elif t2 is _DECLINED:
+            Machine.run_frame(self, thread, frame)
+            return
+        entries = t2.entries
+        try:
+            while thread.budget > 0:
+                fn = entries[frame.pc]
+                if fn is None:
+                    fn = self._entry_block(t2, frame.pc)
+                if not fn(thread, frame):
+                    return
+        except deopt_mod.Tier2Deopt:
+            # The block flushed batched accounting and parked frame.pc
+            # on the trapped machine instruction; finish the slice
+            # interpretively (the code's tier-2 closures are dropped).
+            Machine.run_frame(self, thread, frame)
+
+    # ------------------------------------------------------------------
+    # Promotion.
+    # ------------------------------------------------------------------
+    def _maybe_promote(self, code, frame: MachineFrame):
+        counts = self._counts
+        seen = counts.get(code, 0) + 1
+        counts[code] = seen
+        if (not self._promotable or seen < self.threshold
+                or self.vm.sanitizer is not None):
+            return None
+        from repro.jit.emit2 import compile_tier2
+
+        method = code.method
+        forced = self._forced.pop(method, None)
+        if forced is None:
+            cached = self.code_cache.lookup(self.tier, method,
+                                            self._digest)
+            if cached is not None:
+                if cached.code is code and cached.deopt_at is None:
+                    self._memo[code] = cached
+                    return cached
+                # Stale: the guest JIT recompiled (deopt, new profile).
+                self.code_cache.invalidate(self.tier, method)
+        started = time.perf_counter()
+        try:
+            t2 = compile_tier2(self, code, deopt_at=forced)
+        except Exception:
+            t2 = None
+        self.stats.compile_seconds += time.perf_counter() - started
+        if t2 is None:
+            self._memo[code] = _DECLINED
+            return None
+        # Entry-table validation runs OUTSIDE the bail-out try above:
+        # a compile failure is a legitimate fallback, a verification
+        # failure never is.
+        if getattr(self.vm, "verify_ir", False):
+            from repro.sanitize.blockverify import (
+                BlockVerifyError, verify_tier2_code)
+
+            issues = verify_tier2_code(t2)
+            vstats = self.vm.irverify_stats
+            vstats["blocks"] = vstats.get("blocks", 0) + t2.nblocks
+            vstats["issues"] = vstats.get("issues", 0) + len(issues)
+            if issues:
+                raise BlockVerifyError(method.qualified, issues,
+                                       tier="tier-2")
+        if forced is None:
+            self.code_cache.install(self.tier, method, t2, self._digest)
+        stats = self.stats
+        stats.promotions += 1
+        stats.blocks += t2.nblocks
+        stats.sites += t2.sites
+        stats.compile_cycles += t2.compile_cycles
+        if frame.pc != 0:
+            # The frame is mid-method (a hot loop crossing the slice
+            # threshold): this promotion is an on-stack replacement.
+            stats.osr_entries += 1
+        record = stats.methods.setdefault(
+            method.qualified, {"promotions": 0, "blocks": 0, "sites": 0,
+                               "compile_cycles": 0})
+        record["promotions"] += 1
+        record["blocks"] = t2.nblocks
+        record["sites"] = t2.sites
+        record["compile_cycles"] += t2.compile_cycles
+        self._memo[code] = t2
+        return t2
+
+    def _entry_block(self, t2, pc: int):
+        """Grow the entry table at a parked pc (on-stack replacement)."""
+        from repro.jit.emit2 import extend_tier2
+
+        fn, sites = extend_tier2(t2, pc)
+        stats = self.stats
+        stats.osr_entries += 1
+        stats.blocks += 1
+        stats.sites += sites
+        stats.compile_cycles += (sites * TIER2_COMPILE_SITE_COST
+                                 + TIER2_COMPILE_BLOCK_COST)
+        record = stats.methods.get(t2.method.qualified)
+        if record is not None:
+            record["blocks"] += 1
+            record["sites"] += sites
+            record["compile_cycles"] += (
+                sites * TIER2_COMPILE_SITE_COST + TIER2_COMPILE_BLOCK_COST)
+        return fn
+
+    # ------------------------------------------------------------------
+    # Invalidation and fuzz hooks.
+    # ------------------------------------------------------------------
+    def force_deopt(self, method, pc: int) -> None:
+        """Plant a one-shot deopt trap before machine pc ``pc``.
+
+        The next promotion of ``method``'s machine code compiles with
+        the trap (and is never cached); hitting it transfers to the
+        interpretive machine at exactly that pc and drops the closures,
+        so the promotion after that compiles clean.  Used by the fuzz
+        suite to prove trap-at-every-index byte-identity.
+        """
+        self._forced[method] = pc
+        self.drop_code(method)
+
+    def drop_code(self, method) -> None:
+        """Forget ``method``'s tier-2 closures (memo + code cache)."""
+        stale = [code for code in self._memo if code.method is method]
+        for code in stale:
+            del self._memo[code]
+        self.code_cache.invalidate(self.tier, method)
+
+    def invalidate_all(self) -> int:
+        self._memo.clear()
+        return self.code_cache.invalidate(self.tier)
+
+    def on_sanitizer_attached(self) -> None:
+        """Emitted closures carry no access hooks: stop promoting and
+        drop compiled artifacts (checked runs stay interpretive)."""
+        self._promotable = False
+        self.invalidate_all()

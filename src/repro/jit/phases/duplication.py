@@ -86,6 +86,14 @@ def _decides(dom_block, cond) -> tuple | None:
     return None
 
 
+def _edge_only(succ, dom_block) -> bool:
+    """True if ``succ`` is reachable only via the deciding branch's
+    edge from ``dom_block`` — being there then proves the condition's
+    side.  Multi-predecessor successors (e.g. the merge a bare-if skips
+    to) are reached from both sides and prove nothing."""
+    return len(succ.preds) == 1 and succ.preds[0] is dom_block
+
+
 def _dominated_branches(graph: Graph) -> int:
     """Fold a branch strictly dominated by another branch on the same
     condition (single-predecessor chains; merges are handled by
@@ -109,13 +117,22 @@ def _dominated_branches(graph: Graph) -> int:
                     sides = _decides(dom, cond)
                     if sides is not None:
                         true_succ, false_succ = sides
+                        # Dominance by a successor only implies the
+                        # condition if that successor is reachable
+                        # solely through the deciding edge.  A bare-if
+                        # merge is its branch's own skip target, so it
+                        # dominates everything downstream while being
+                        # reached from BOTH sides — folding on it would
+                        # pick one side for all paths.
                         if true_succ is not block \
+                                and _edge_only(true_succ, dom) \
                                 and dominates(idom, true_succ, block):
                             block.terminator = ("jump", t[2])
                             folded += 1
                             changed = True
                             break
                         if false_succ is not block \
+                                and _edge_only(false_succ, dom) \
                                 and dominates(idom, false_succ, block):
                             block.terminator = ("jump", t[3])
                             folded += 1
@@ -172,7 +189,8 @@ def _duplicate_merges(graph: Graph) -> int:
             true_succ, false_succ = sides
             routed = 0
             for pred in list(block.preds):
-                side = _classify(idom, pred, block, true_succ, false_succ)
+                side = _classify(idom, dom, pred, block,
+                                 true_succ, false_succ)
                 if side is None:
                     continue
                 target = t[2] if side == "true" else t[3]
@@ -188,12 +206,18 @@ def _duplicate_merges(graph: Graph) -> int:
     return duplicated
 
 
-def _classify(idom, pred, merge, true_succ, false_succ) -> str | None:
-    """Which side of the deciding branch does ``pred`` lie on?"""
-    if pred is true_succ or (true_succ is not merge
-                             and dominates(idom, true_succ, pred)):
+def _classify(idom, dom, pred, merge, true_succ, false_succ) -> str | None:
+    """Which side of the deciding branch does ``pred`` lie on?
+
+    Only successors reachable solely through their deciding edge
+    (:func:`_edge_only`) prove a side — same soundness rule as
+    :func:`_dominated_branches`."""
+    if _edge_only(true_succ, dom) and (
+            pred is true_succ or (true_succ is not merge
+                                  and dominates(idom, true_succ, pred))):
         return "true"
-    if pred is false_succ or (false_succ is not merge
-                              and dominates(idom, false_succ, pred)):
+    if _edge_only(false_succ, dom) and (
+            pred is false_succ or (false_succ is not merge
+                                   and dominates(idom, false_succ, pred))):
         return "false"
     return None

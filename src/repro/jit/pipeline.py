@@ -18,7 +18,9 @@ DS    Dominance-Based Duplication Simulation     5.7     no
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 #: Optimization codes, in the column order of Tables 12–15.
 OPT_NAMES = {
@@ -70,6 +72,24 @@ def graal_config(**overrides) -> JitConfig:
     flags = {code: True for code in OPT_CODES}
     flags.update(overrides.pop("flags", {}))
     return JitConfig(name="graal", flags=flags, **overrides)
+
+
+def config_digest(config: JitConfig) -> str:
+    """Stable short digest of a compiler configuration.
+
+    Part of the tier-2 code-cache key (see
+    :class:`~repro.jvm.cache.CompiledMethodCache`): tier-2 closures are
+    host compilations of the *optimized* machine code one config
+    produces, so two configs that could lower a method differently must
+    never share cached artifacts.  Covers every :class:`JitConfig`
+    field, flags in sorted order, so equal configs digest equally
+    regardless of construction order.
+    """
+    payload = asdict(config)
+    payload["flags"] = {k: bool(v)
+                        for k, v in sorted(payload["flags"].items())}
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 def c2_config(**overrides) -> JitConfig:

@@ -37,6 +37,14 @@ DEOPT_COST = 400
 TIER1_COMPILE_SITE_COST = 40     # per emitted instruction site
 TIER1_COMPILE_BLOCK_COST = 200   # per superblock (region setup/exits)
 
+# Simulated compile "time" of the host tier-2 engine (repro.jit.emit2),
+# which consumes the already-lowered machine code rather than bytecode,
+# so a site is cheaper than tier-1's.  Same contract as the tier-1
+# constants: host bookkeeping only, never charged to budgets or
+# reference_cycles.
+TIER2_COMPILE_SITE_COST = 30     # per lowered machine-op site
+TIER2_COMPILE_BLOCK_COST = 150   # per superblock (region setup/exits)
+
 # Baseline per-operation cycle costs.
 BASE_COST: dict[Op, int] = {
     Op.CONST: 1,

@@ -1,0 +1,136 @@
+"""Tier-2 engine: the full three-tier host ladder.
+
+Completes the ladder of DESIGN.md §13::
+
+    interpreted frames            machine frames (guest-JIT compiled)
+    ------------------            ---------------------------------
+    threaded  (tier 0)
+       │ 16 invocations
+       ▼
+    tier-1 superblocks  ──call──▶ interpretive Machine
+                                     │ 2 slice entries
+                                     ▼
+                                  tier-2 superblock closures
+                                  (repro.jit.emit2, OSR entries,
+                                   deopt chain back down)
+
+Bytecode frames behave exactly as under ``engine="tier1"`` — this class
+*is* a :class:`~repro.jvm.tier1.Tier1Interpreter`.  What changes is the
+machine-frame side: the VM pairs this engine with a
+:class:`~repro.jit.machine.Tier2Machine`, which host-compiles the guest
+JIT's optimized :class:`~repro.jit.lowering.CompiledCode` into flat
+Python closures, so the pipeline's phases (inlining, escape analysis,
+lock coarsening, vectorization…) finally buy host ops/sec rather than
+only moving simulated counters.  This module's class is the facade that
+surfaces the machine's host-side tier bookkeeping — promotions, OSR
+entries, deopt reasons, simulated compile cycles, cache statistics —
+through the same snapshot/metrics/cache_info shapes the tier-1 engine
+already exposes, and fans invalidation events (sanitizer attach,
+requicken, invalidate_all) out to the machine's code cache.
+
+With ``jit=None`` there are no machine frames, hence no tier-2: the
+engine degrades to exactly tier-1 behaviour with zeroed tier-2 metrics.
+
+All tier state is host-side: counters, schedules, traces and
+RaceReports stay byte-identical to the reference interpreter and the
+interpretive machine oracle.
+"""
+
+from __future__ import annotations
+
+from repro.jvm.tier1 import Tier1Interpreter
+
+#: Host execution tiers each engine may run a frame on, in promotion
+#: order.  Recorded in durable sweep unit digests: a resumed sweep must
+#: re-run its units under the same ladder the journal was written with,
+#: and serial == sharded fingerprints hold per ladder.
+TIER_LADDERS: dict[str, tuple[str, ...]] = {
+    "reference": ("reference",),
+    "threaded": ("threaded",),
+    "tier1": ("threaded", "tier1"),
+    "tier2": ("threaded", "tier1", "tier2"),
+}
+
+_EMPTY_CACHE_INFO = {
+    "size": 0, "hits": 0, "misses": 0, "hit_rate": 0.0,
+    "invalidations": 0,
+}
+
+
+class Tier2Interpreter(Tier1Interpreter):
+    """Tier-1 bytecode engine + tier-2 machine-frame bookkeeping."""
+
+    def _tier2_machine(self):
+        """The VM's Tier2Machine, or None (``jit=None`` runs)."""
+        machine = self.vm.machine
+        if machine is not None and getattr(machine, "tier", None) == "tier2":
+            return machine
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def tier2_snapshot(self) -> dict:
+        """JSON-able tier-2 metrics (promotions, OSR, deopt reasons)."""
+        machine = self._tier2_machine()
+        if machine is None:
+            return {
+                "promotions": 0, "compiled_blocks": 0, "compiled_sites": 0,
+                "compile_cycles": 0, "osr_entries": 0, "deopts": {},
+                "compile_seconds": 0.0, "methods": {},
+            }
+        return machine.stats.snapshot()
+
+    def tier2_metrics(self) -> dict:
+        """Flat scalar metrics for the repro.metrics export."""
+        machine = self._tier2_machine()
+        if machine is None:
+            return {
+                "tier2_promotions": 0,
+                "tier2_compiled_blocks": 0,
+                "tier2_osr_entries": 0,
+                "tier2_deopts": 0,
+                "tier2_compile_cycles": 0,
+            }
+        stats = machine.stats
+        return {
+            "tier2_promotions": stats.promotions,
+            "tier2_compiled_blocks": stats.blocks,
+            "tier2_osr_entries": stats.osr_entries,
+            "tier2_deopts": sum(stats.deopts.values()),
+            "tier2_compile_cycles": stats.compile_cycles,
+        }
+
+    def cache_info(self) -> dict:
+        """Adds the tier-2 code cache to the tier-1/translation stats."""
+        info = super().cache_info()
+        machine = self._tier2_machine()
+        info["tier2"] = (machine.code_cache.cache_info()
+                         if machine is not None
+                         else dict(_EMPTY_CACHE_INFO))
+        return info
+
+    # ------------------------------------------------------------------
+    # Invalidation fan-out.
+    # ------------------------------------------------------------------
+    def invalidate_all(self) -> int:
+        dropped = super().invalidate_all()
+        machine = self._tier2_machine()
+        if machine is not None:
+            dropped += machine.invalidate_all()
+        return dropped
+
+    def on_sanitizer_attached(self) -> None:
+        machine = self._tier2_machine()
+        if machine is not None:
+            machine.on_sanitizer_attached()
+        super().on_sanitizer_attached()
+
+    def requicken(self, method) -> bool:
+        """Also drops the method's tier-2 closures: requickening means
+        the method's profile assumptions changed, and the next guest
+        compile will produce fresh machine code anyway."""
+        machine = self._tier2_machine()
+        if machine is not None:
+            machine.drop_code(method)
+        return super().requicken(method)

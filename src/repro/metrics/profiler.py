@@ -33,6 +33,16 @@ TRACE_METRIC_NAMES = ("trace_events", "trace_dropped", "trace_samples")
 TIER1_METRIC_NAMES = ("tier1_promotions", "tier1_compiled_blocks",
                       "tier1_deopts", "tier1_compile_cycles")
 
+#: Host tier-2 engine counters (repro.jit.machine.Tier2Machine):
+#: machine-code promotions to host closures, emitted superblocks, OSR
+#: entries compiled on demand, deopts by any reason, and simulated
+#: compile cycles.  All zero unless the run used ``engine="tier2"``
+#: with a JIT attached.  Host-side bookkeeping like the tier-1 set —
+#: never part of the byte-identity contract.
+TIER2_METRIC_NAMES = ("tier2_promotions", "tier2_compiled_blocks",
+                      "tier2_osr_entries", "tier2_deopts",
+                      "tier2_compile_cycles")
+
 #: Compiler-verification counters (repro.sanitize.irverify /
 #: blockverify): IR graphs verified, per-phase re-checks, superblocks
 #: validated, and issues raised.  All zero unless the run used
@@ -91,6 +101,10 @@ class MetricsPlugin(MergeablePlugin):
         tier1 = tier1() if tier1 is not None else {}
         for name in TIER1_METRIC_NAMES:
             self.raw[name] = tier1.get(name, 0)
+        tier2 = getattr(vm.interpreter, "tier2_metrics", None)
+        tier2 = tier2() if tier2 is not None else {}
+        for name in TIER2_METRIC_NAMES:
+            self.raw[name] = tier2.get(name, 0)
         irverify = getattr(vm, "irverify_stats", None) or {}
         for name in IRVERIFY_METRIC_NAMES:
             self.raw[name] = irverify.get(name[len("irverify_"):], 0)

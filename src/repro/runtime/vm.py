@@ -88,8 +88,10 @@ class VM:
         # threaded-code engine (repro.jvm.threaded); "reference" is the
         # original elif dispatcher, kept as the equivalence oracle;
         # "tier1" (opt-in) adds compiled superblock closures for hot
-        # methods on top of the threaded tier (repro.jvm.tier1).  All
-        # three produce byte-identical counters and schedules.
+        # methods on top of the threaded tier (repro.jvm.tier1);
+        # "tier2" (opt-in) additionally host-compiles the guest JIT's
+        # optimized machine code (repro.jit.emit2 via repro.jvm.tier2).
+        # All four produce byte-identical counters and schedules.
         if engine == "threaded":
             from repro.jvm.threaded import ThreadedInterpreter
 
@@ -98,6 +100,10 @@ class VM:
             from repro.jvm.tier1 import Tier1Interpreter
 
             self.interpreter = Tier1Interpreter(self)
+        elif engine == "tier2":
+            from repro.jvm.tier2 import Tier2Interpreter
+
+            self.interpreter = Tier2Interpreter(self)
         elif engine == "reference":
             self.interpreter = Interpreter(self)
         else:
@@ -110,6 +116,16 @@ class VM:
         self._bootstrap_builtins()
         self.jit = self._make_jit(jit)
         self.machine = self.jit.machine if self.jit is not None else None
+        if engine == "tier2" and self.jit is not None:
+            # Swap the interpretive machine-frame executor for the
+            # tier-2 one (same CompiledCode, host-compiled closures on
+            # top); the interpretive Machine stays reachable through
+            # Machine.run_frame as the byte-identity oracle and the
+            # deopt fallback.
+            from repro.jit.machine import Tier2Machine
+
+            self.machine = Tier2Machine(self)
+            self.jit.machine = self.machine
         # Deterministic fault injection (repro.faults).  ``faults`` is a
         # FaultPlan or a prepared FaultInjector; hooks are installed
         # only for the fault kinds the plan actually uses, so the hot

@@ -46,21 +46,26 @@ from repro.jvm.costmodel import (
     INTERP_DISPATCH,
     TIER1_COMPILE_BLOCK_COST,
     TIER1_COMPILE_SITE_COST,
+    TIER2_COMPILE_BLOCK_COST,
+    TIER2_COMPILE_SITE_COST,
 )
 from repro.sanitize.reports import StaticIssue
 
-__all__ = ["BlockVerifyError", "verify_tier1_code", "expected_regions"]
+__all__ = ["BlockVerifyError", "verify_tier1_code", "expected_regions",
+           "verify_tier2_code", "expected_tier2_regions"]
 
 
 class BlockVerifyError(VMError):
     """An emitted superblock violates the accounting/CFG contract."""
 
-    def __init__(self, method: str, issues: list[StaticIssue]):
+    def __init__(self, method: str, issues: list[StaticIssue],
+                 tier: str = "tier-1"):
         self.method = method
         self.issues = list(issues)
+        self.tier = tier
         first = issues[0].message if issues else "unknown"
         super().__init__(
-            f"{method}: tier-1 block verification failed "
+            f"{method}: {tier} block verification failed "
             f"({len(issues)} issue(s)); first: {first}")
 
 
@@ -460,6 +465,385 @@ def _cycles_constant(value) -> int | None:
         # `K + (b0 - budget)`: K is the constant charge.
         return value.left.value
     return None
+
+
+# ======================================================================
+# Tier-2: emitted machine-code superblocks (repro.jit.emit2).
+#
+# Same philosophy as the tier-1 pass: the region walk, fusion rules and
+# cost classification below deliberately *duplicate* the tier-2
+# emitter's rather than import them — drift between emitter and
+# verifier is the bug class this pass exists to surface.
+# ======================================================================
+
+#: Machine kinds that end a tier-2 region with the op included.
+_T2_TERM_KINDS = frozenset({
+    "ret", "callstatic", "callvirtual", "callhandle", "park", "wait",
+})
+_T2_REGION_CAP = 64
+
+
+def _t2_const_cost(instr) -> int:
+    """The cost portion the tier-2 emitter folds into compile-time
+    prefix sums; variable-cost monitor ops charge at run time."""
+    kind = instr[0]
+    if kind == "monitorenter" or kind == "monitorexit_if_held":
+        return 0
+    if kind == "monitorexit" and instr[3] is not None:
+        return 0
+    return instr[1]
+
+
+def _t2_scan(instrs, leader: int, deopt_at: int | None):
+    ops: list[tuple] = []
+    pc = leader
+    n = len(instrs)
+    while pc < n and len(ops) < _T2_REGION_CAP:
+        if deopt_at is not None and pc == deopt_at:
+            return ops, pc, "deopt"
+        instr = instrs[pc]
+        kind = instr[0]
+        ops.append((pc, instr))
+        if kind in _T2_TERM_KINDS:
+            return ops, pc, "term"
+        if kind == "jump":
+            if instr[2] != pc + 1:
+                return ops, pc, "term"
+        elif kind == "branch":
+            if instr[3] != pc + 1 and instr[4] != pc + 1:
+                return ops, pc, "term"
+        pc += 1
+    return ops, pc, "split"
+
+
+def expected_tier2_regions(instrs, deopt_at: int | None = None) -> dict:
+    """Ground-truth tier-2 region table: ``leader -> (ops, end_pc,
+    kind)`` over lowered machine instructions, with the emitter's
+    fall-through fusion (jumps/one-armed branches continue the region)
+    re-derived independently."""
+    n = len(instrs)
+    leaders = {0}
+    for pc, instr in enumerate(instrs):
+        kind = instr[0]
+        if kind == "jump":
+            leaders.add(instr[2])
+        elif kind == "branch":
+            leaders.add(instr[3])
+            leaders.add(instr[4])
+        elif kind in ("callstatic", "callvirtual", "callhandle",
+                      "park", "wait"):
+            leaders.add(pc + 1)
+        elif kind == "monitorenter":
+            # Contended acquisition parks the pc here for re-execution.
+            leaders.add(pc)
+    pending = sorted(pc for pc in leaders if pc < n)
+    seen = set(pending)
+    regions: dict[int, tuple] = {}
+    while pending:
+        leader = pending.pop(0)
+        ops, end_pc, kind = _t2_scan(instrs, leader, deopt_at)
+        if kind == "split" and end_pc < n and end_pc not in seen:
+            seen.add(end_pc)
+            pending.append(end_pc)
+        regions[leader] = (ops, end_pc, kind)
+    return regions
+
+
+def verify_tier2_code(t2) -> list[StaticIssue]:
+    """Check a :class:`repro.jit.emit2.Tier2Code` against the machine
+    code's ground truth: entry-table legitimacy (initial leaders and
+    lazily added OSR entries alike re-derive from an independent region
+    walk), per-block metadata, cost-model prefix sums in the generated
+    source, deopt flush discipline, and compile-cycle totals."""
+    enabled = gc.isenabled()
+    if enabled:
+        gc.disable()
+    try:
+        return _Tier2Verifier(t2).run()
+    finally:
+        if enabled:
+            gc.enable()
+
+
+class _Tier2Verifier:
+    def __init__(self, t2) -> None:
+        self.t2 = t2
+        self.qualified = t2.method.qualified
+        self.instrs = t2.code.instrs
+        self.n = len(self.instrs)
+        self.issues: list[StaticIssue] = []
+
+    def issue(self, message: str, *, pc: int = -1,
+              severity: str = "error") -> None:
+        self.issues.append(StaticIssue(
+            pass_name="blockverify", severity=severity,
+            method=self.qualified, pc=pc, line=0, message=message))
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[StaticIssue]:
+        t2, n = self.t2, self.n
+        if len(t2.entries) != n:
+            self.issue(
+                f"entry table has {len(t2.entries)} slots for {n} machine "
+                "instructions — parked pcs would lose their entries")
+            return self.issues
+        static = expected_tier2_regions(self.instrs, t2.deopt_at)
+
+        metas: dict[int, tuple] = {}
+        for leader, sites, cum, end_pc, kind, self_loop in t2.blocks:
+            if leader in metas:
+                self.issue(f"duplicate block metadata for leader "
+                           f"{leader}", pc=leader)
+                continue
+            metas[leader] = (sites, cum, end_pc, kind, self_loop)
+        compiled = {pc for pc, fn in enumerate(t2.entries)
+                    if fn is not None}
+        for pc in sorted(compiled - set(metas)):
+            self.issue(f"entry at pc {pc} has no block metadata", pc=pc)
+        for pc in sorted(set(metas) - compiled):
+            self.issue(f"block metadata at pc {pc} has no entry", pc=pc)
+        for pc in sorted(set(static) - set(metas)):
+            self.issue(
+                f"static region leader pc {pc} was never compiled — the "
+                "driver would extend it as OSR, hiding a leader-walk "
+                "mismatch", pc=pc)
+        for pc in sorted(compiled):
+            fn = t2.entries[pc]
+            name = getattr(fn, "__name__", "?")
+            if name != f"_m{pc}":
+                self.issue(
+                    f"entry at pc {pc} is block function {name!r} "
+                    f"(expected _m{pc}) — entry table miswired", pc=pc)
+
+        # Re-derive every block (initial leaders and OSR extensions
+        # alike) from its own pc: any in-range pc must scan to the same
+        # region the emitter recorded.
+        regions: dict[int, tuple] = {}
+        for leader, (sites, cum, end_pc, kind, self_loop) in \
+                sorted(metas.items()):
+            if not 0 <= leader < n:
+                self.issue(f"block leader {leader} outside the machine "
+                           f"code [0, {n})", pc=leader)
+                continue
+            ops, want_end, want_kind = _t2_scan(
+                self.instrs, leader, t2.deopt_at)
+            regions[leader] = (ops, want_end, want_kind)
+            if sites != len(ops):
+                self.issue(
+                    f"block at {leader} records {sites} sites, the region "
+                    f"walk consumes {len(ops)} ops", pc=leader)
+            if (end_pc, kind) != (want_end, want_kind):
+                self.issue(
+                    f"block at {leader} records end={end_pc}/{kind}, the "
+                    f"region walk says end={want_end}/{want_kind}",
+                    pc=leader)
+            want_cum = sum(_t2_const_cost(i) for _, i in ops)
+            if want_kind == "term" and ops:
+                want_cum -= _t2_const_cost(ops[-1][1])
+            if cum != want_cum:
+                self.issue(
+                    f"block at {leader} records charged prefix {cum}, the "
+                    f"cost model sums to {want_cum}", pc=leader)
+            want_loop = any(
+                (i[0] == "jump" and i[2] == leader)
+                or (i[0] == "branch" and (i[3] == leader
+                                          or i[4] == leader))
+                for _, i in ops)
+            if self_loop != want_loop:
+                self.issue(
+                    f"block at {leader} records self_loop={self_loop}, "
+                    f"the region walk says {want_loop}", pc=leader)
+
+        # Totals: the simulated compile-time these feed is part of the
+        # tier-metric contract.
+        want_sites = sum(meta[0] for meta in metas.values())
+        if t2.nblocks != len(metas):
+            self.issue(f"nblocks={t2.nblocks} but {len(metas)} block "
+                       "metadata records exist")
+        if t2.sites != want_sites:
+            self.issue(f"sites={t2.sites} but block metadata sums to "
+                       f"{want_sites}")
+        want_cycles = (t2.sites * TIER2_COMPILE_SITE_COST
+                       + t2.nblocks * TIER2_COMPILE_BLOCK_COST)
+        if t2.compile_cycles != want_cycles:
+            self.issue(
+                f"compile_cycles={t2.compile_cycles} != "
+                f"sites*{TIER2_COMPILE_SITE_COST} + "
+                f"nblocks*{TIER2_COMPILE_BLOCK_COST} = {want_cycles}")
+
+        # Per-function source validation.
+        try:
+            module = ast.parse(t2.source)
+        except SyntaxError as exc:
+            self.issue(f"generated source does not parse: {exc}")
+            return self.issues
+        fns = {node.name: node for node in module.body
+               if isinstance(node, ast.FunctionDef)}
+        if len(fns) != t2.nblocks:
+            self.issue(f"source defines {len(fns)} block functions, "
+                       f"nblocks={t2.nblocks}")
+        for leader, region in sorted(regions.items()):
+            fn = fns.get(f"_m{leader}")
+            if fn is None:
+                self.issue(f"no generated function _m{leader} for block "
+                           f"at pc {leader}", pc=leader)
+                continue
+            self._check_function(fn, leader, *region)
+        return self.issues
+
+    # ------------------------------------------------------------------
+    def _check_function(self, fn, leader, ops, end_pc, kind) -> None:
+        # Prefix sums of the constant per-op cost over the region body
+        # (a terminator's cost is charged at its exit, never folded).
+        body_ops = ops[:-1] if kind == "term" else ops
+        prefix = {0}
+        cum = 0
+        for _pc, instr in body_ops:
+            cum += _t2_const_cost(instr)
+            prefix.add(cum)
+        # Exit charges: a flush may charge the running prefix alone (a
+        # raise counts the op but charges nothing) or prefix + the
+        # exiting op's full cost (taken branches, calls, guards, park).
+        charges = set(prefix)
+        folds = set(charges)
+        running = 0
+        nops = len(ops)
+        for index, (_pc, instr) in enumerate(ops):
+            charges.add(running + instr[1])
+            kind_i = instr[0]
+            if kind_i == "monitorenter":
+                # Coarsened held-chunk fast path / real acquisition.
+                folds.add(1)
+                folds.add(instr[1])
+            elif kind_i == "monitorexit" and instr[3] is not None:
+                folds.add(1)
+                folds.add(instr[1])
+            elif kind_i == "monitorexit_if_held":
+                folds.add(18)       # drained chunk pays a real release
+                folds.add(instr[1])
+            if index < len(body_ops):
+                running += _t2_const_cost(instr)
+        folds |= charges
+
+        def complain(msg):
+            self.issue(f"_m{leader}: {msg}", pc=leader)
+
+        saw_trap = False
+        for body in _suites(fn):
+            flushed_budget = flushed_pc = False
+            for stmt in body:
+                cls = stmt.__class__
+                if cls is ast.Assign:
+                    target = stmt.targets[0]
+                    if target.__class__ is not ast.Attribute \
+                            or target.value.__class__ is not ast.Name:
+                        continue
+                    owner, attr = target.value.id, target.attr
+                    v = stmt.value
+                    if owner == "thread" and attr == "budget":
+                        flushed_budget = True
+                        if v.__class__ is ast.Name and v.id == "budget":
+                            continue
+                        if (v.__class__ is ast.BinOp
+                                and v.op.__class__ is ast.Sub
+                                and v.left.__class__ is ast.Name
+                                and v.left.id == "budget"
+                                and v.right.__class__ is ast.Constant):
+                            k = v.right.value
+                            if k not in charges or k == 0:
+                                complain(
+                                    f"budget flush charges {k}, not a "
+                                    "cost-model prefix/exit sum of the "
+                                    "region")
+                            continue
+                        complain("budget flush has unexpected shape")
+                    elif owner == "frame" and attr == "pc":
+                        flushed_pc = True
+                        if v.__class__ is ast.Constant \
+                                and not 0 <= v.value < self.n:
+                            complain(
+                                f"frame.pc flushed to {v.value}, outside "
+                                f"the machine code [0, {self.n}) — not a "
+                                "resumable index")
+                elif cls is ast.AugAssign:
+                    target = stmt.target
+                    op_cls = stmt.op.__class__
+                    arith = op_cls is ast.Sub or op_cls is ast.Add
+                    v = stmt.value
+                    if not arith or v.__class__ is not ast.Constant:
+                        continue
+                    if target.__class__ is ast.Name:
+                        if target.id == "budget":
+                            if v.value not in folds:
+                                complain(
+                                    f"local budget fold {v.value} is not "
+                                    "a cost-model prefix/exit sum")
+                        elif target.id == "_ai":
+                            if not 1 <= v.value <= nops:
+                                complain(
+                                    f"loop instruction fold {v.value} "
+                                    f"exceeds the region's {nops} ops")
+                    elif target.__class__ is ast.Attribute \
+                            and target.value.__class__ is ast.Name \
+                            and target.value.id == "_ct":
+                        if target.attr == "instructions":
+                            k = _count_constant(v)
+                            if k is not None and not 0 <= k <= nops:
+                                complain(
+                                    f"instruction bump {k} exceeds the "
+                                    f"region's {nops} ops")
+                        elif target.attr == "reference_cycles":
+                            k = _cycles_constant(v)
+                            if k is not None and k not in charges:
+                                complain(
+                                    f"cycle charge {k} is not a "
+                                    "cost-model prefix/exit sum of the "
+                                    "region")
+                elif cls is ast.Raise:
+                    exc = stmt.exc
+                    if exc is not None and exc.__class__ is ast.Name \
+                            and exc.id == "_IE":
+                        continue    # internal bounds-probe, caught inline
+                    if not flushed_budget:
+                        complain("raise without a preceding thread.budget "
+                                 "flush in its suite")
+                    if not flushed_pc:
+                        complain("raise without a preceding frame.pc "
+                                 "flush — the machine would resume at a "
+                                 "stale index")
+                elif cls is ast.Expr:
+                    call = stmt.value
+                    if call.__class__ is ast.Call \
+                            and call.func.__class__ is ast.Name \
+                            and call.func.id == "_deopt2":
+                        saw_trap = True
+                        if (len(call.args) == 2
+                                and call.args[1].__class__ is ast.Constant
+                                and call.args[1].value != end_pc):
+                            complain(
+                                f"forced trap transfers to pc "
+                                f"{call.args[1].value}, region ends at "
+                                f"{end_pc}")
+                        if not flushed_budget or not flushed_pc:
+                            complain("forced trap without a preceding "
+                                     "budget + pc flush")
+                elif cls is ast.If or cls is ast.While:
+                    test = stmt.test
+                    if (test.__class__ is ast.Compare
+                            and test.left.__class__ is ast.Name
+                            and test.left.id == "budget"
+                            and len(test.ops) == 1
+                            and test.ops[0].__class__ is ast.LtE
+                            and test.comparators[0].__class__
+                            is ast.Constant):
+                        k = test.comparators[0].value
+                        if k not in prefix:
+                            complain(
+                                f"budget guard constant {k} is not a "
+                                "cost-model prefix sum of the region")
+        if kind == "deopt" and not saw_trap:
+            complain("region carries the forced trap but never calls "
+                     "_deopt2")
 
 
 def _suites(fn) -> list:

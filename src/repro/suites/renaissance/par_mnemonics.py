@@ -1,0 +1,133 @@
+"""par-mnemonics: phone-number mnemonics on parallel streams (Table 1).
+
+Focus: data-parallel, memory-bound.  The same keypad-encoding kernel as
+``streams-mnemonics``, but the classification pass fans out over a
+thread pool through ``Stream.parMap`` — the parallel-streams variant
+the real suite ships alongside the sequential one.  Each chunk touches
+a disjoint slice of the token array (memory-bound scan) and publishes
+into a shared ``AtomicLong`` checksum, so the profile adds atomics and
+park/unpark to the DS-style repeated ``instanceof`` checks.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class PToken { def init() { } }
+class PWordToken extends PToken {
+    var word;        // letter-code array
+    def init(word) { this.word = word; }
+}
+class PDigitToken extends PToken {
+    var digit;
+    def init(digit) { this.digit = digit; }
+}
+
+class ParMnemonics {
+    var tokens;       // ref array of PToken
+    var count;
+    var sink;         // AtomicLong checksum shared across chunks
+
+    def init(n) {
+        this.count = n;
+        this.tokens = new ref[n];
+        this.sink = new AtomicLong(0);
+        var words = "maptreecodejavarunsfastheapnodelistcallsite";
+        var r = new Random(29);
+        var i = 0;
+        while (i < n) {
+            if (r.nextInt(3) == 0) {
+                this.tokens[i] = new PDigitToken(r.nextInt(10));
+            } else {
+                var a = (r.nextInt(38)) % 38;
+                var w = new int[4];
+                var j = 0;
+                while (j < 4) {
+                    w[j] = Str.charAt(words, a + j) - 'a';
+                    j = j + 1;
+                }
+                this.tokens[i] = new PWordToken(w);
+            }
+            i = i + 1;
+        }
+    }
+
+    def wordValue(w) {
+        // digit for each letter, phone-keypad style.
+        var total = 0;
+        var i = 0;
+        var n = len(w);
+        while (i < n) {
+            var c = w[i];
+            total = total * 10 + (c / 3 + 2) % 10;
+            i = i + 1;
+        }
+        return total;
+    }
+
+    // Same DS pattern as the sequential benchmark: instanceof on the
+    // same value re-tested after merges, here inside the parMap lambda.
+    def encode(t) {
+        var v = 0;
+        if (t instanceof PWordToken) {
+            v = v + 1;
+        } else {
+            v = v + 2;
+        }
+        if (t instanceof PWordToken) {
+            var w = cast(PWordToken, t);
+            v = v + this.wordValue(w.word) % 97;
+        }
+        if (t instanceof PWordToken) {
+            v = v + 3;
+        } else {
+            var d = cast(PDigitToken, t);
+            v = v + d.digit;
+        }
+        if (t instanceof PWordToken) {
+            v = v + 7;
+        }
+        this.sink.getAndAdd(v);
+        return v;
+    }
+
+    def parPass(pool) {
+        var self = this;
+        return Stream.wrap(this.tokens, this.count)
+            .parMap(pool, 8, fun (t) self.encode(t))
+            .reduce(0, fun (a, b) (a + b) % 1000003);
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new ParMnemonics(n);
+        }
+        var m = cast(ParMnemonics, Bench.cached);
+        m.sink.set(0);
+        var pool = new ThreadPool(4);
+        var acc = 0;
+        var round = 0;
+        while (round < 6) {
+            acc = (acc + m.parPass(pool)) % 1000000007;
+            round = round + 1;
+        }
+        pool.shutdown();
+        return acc * 1000 + m.sink.get() % 1000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="par-mnemonics",
+    suite="renaissance",
+    source=SOURCE,
+    description="Phone mnemonics fanned out over a thread pool with "
+                "parallel streams and a shared atomic checksum",
+    focus="data-parallel, memory-bound",
+    args=(260,),
+    warmup=6,
+    measure=4,
+)

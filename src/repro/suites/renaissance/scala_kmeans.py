@@ -1,0 +1,133 @@
+"""scala-kmeans: K-means on functional Scala collections (Table 1).
+
+Focus: data-parallel, allocation-heavy.  Unlike ``fj-kmeans`` (the
+fork/join + synchronized-Vector variant), this models the Scala
+idiom: a sequential groupBy/averaging pipeline written against
+streams and lambdas, allocating fresh assignment lists every
+iteration.  The closures make it an MHS (method-handle simplification)
+workload and the per-round collection churn gives it the high object
+allocation rate the paper attributes to Scala code.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class SKPoint {
+    var x;
+    var y;
+    def init(x, y) { this.x = x; this.y = y; }
+}
+
+class SKMeans {
+    var points;      // ArrayList of SKPoint
+    var cxs;
+    var cys;
+    var k;
+
+    def init(count, k) {
+        this.k = k;
+        this.points = new ArrayList();
+        this.cxs = new double[k];
+        this.cys = new double[k];
+        var r = new Random(677);
+        var i = 0;
+        while (i < count) {
+            this.points.add(new SKPoint(r.nextDouble() * 100.0,
+                                        r.nextDouble() * 100.0));
+            i = i + 1;
+        }
+        this.reset();
+    }
+
+    def reset() {
+        var i = 0;
+        while (i < this.k) {
+            var p = cast(SKPoint, this.points.get(i));
+            this.cxs[i] = p.x;
+            this.cys[i] = p.y;
+            i = i + 1;
+        }
+    }
+
+    def nearest(p) {
+        var best = 0;
+        var bestDist = 1.0e18;
+        var c = 0;
+        while (c < this.k) {
+            var dx = p.x - this.cxs[c];
+            var dy = p.y - this.cys[c];
+            var d = dx * dx + dy * dy;
+            if (d < bestDist) {
+                bestDist = d;
+                best = c;
+            }
+            c = c + 1;
+        }
+        return best;
+    }
+
+    // The Scala-collections idiom: groupBy into per-cluster lists
+    // (fresh allocations every round), then average each group.
+    def iterate() {
+        var self = this;
+        var groups = new ref[this.k];
+        var c = 0;
+        while (c < this.k) {
+            groups[c] = new ArrayList();
+            c = c + 1;
+        }
+        Stream.of(this.points).forEach(fun (p) {
+            var g = cast(ArrayList, groups[self.nearest(p)]);
+            g.add(p);
+        });
+        var moved = 0;
+        c = 0;
+        while (c < this.k) {
+            var g = cast(ArrayList, groups[c]);
+            if (g.size() > 0) {
+                var sx = Stream.of(g).map(fun (p) cast(SKPoint, p).x).sum();
+                var sy = Stream.of(g).map(fun (p) cast(SKPoint, p).y).sum();
+                var nx = sx / i2d(g.size());
+                var ny = sy / i2d(g.size());
+                if (nx != this.cxs[c]) { moved = moved + 1; }
+                this.cxs[c] = nx;
+                this.cys[c] = ny;
+            }
+            c = c + 1;
+        }
+        return moved;
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new SKMeans(n, 5);
+        }
+        var km = cast(SKMeans, Bench.cached);
+        km.reset();
+        var moved = 0;
+        var round = 0;
+        while (round < 6) {
+            moved = moved + km.iterate();
+            round = round + 1;
+        }
+        var check = d2i(km.cxs[0] + km.cys[0] + km.cxs[4] + km.cys[4]);
+        return moved * 1000 + check % 1000;
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="scala-kmeans",
+    suite="renaissance",
+    source=SOURCE,
+    description="K-means with functional groupBy/averaging over stream "
+                "pipelines, allocating fresh groups every iteration",
+    focus="data-parallel, allocation-heavy",
+    args=(240,),
+    warmup=6,
+    measure=4,
+)

@@ -436,3 +436,46 @@ def test_duplication_folds_repeated_instanceof():
     after = sum(1 for b in graph.blocks
                 if b.terminator and b.terminator[0] == "branch")
     assert after < before
+
+
+def test_duplication_does_not_fold_after_bare_if():
+    # Soundness regression: a *bare* if (no else) jumps straight to the
+    # merge, so the deciding branch's true-successor IS the merge —
+    # which dominates everything downstream while being reachable from
+    # both sides.  Folding a later `x instanceof B` branch on that
+    # dominance proves nothing and used to pick one arm for all types.
+    # Only edge-dominance (successor reachable solely through the
+    # deciding edge) may fold.
+    src = """
+    class A { def init() { } }
+    class B extends A { def init() { } }
+    class T {
+        static def enc(x, i) {
+            var v = 1;
+            if (x instanceof B) { v = v + i; }
+            if (x instanceof B) { v = v * 2; } else { v = v + 7; }
+            if (x instanceof B) { v = v + 3; }
+            return v;
+        }
+        static def m(n) {
+            var a = 0;
+            var i = 0;
+            while (i < n) {
+                var x = new A();
+                if (i - i / 3 * 3 == 0) { x = new B(); }
+                a = a + T.enc(x, i);
+                i = i + 1;
+            }
+            return a;
+        }
+    }"""
+    from repro.runtime import VM
+
+    def value(jit):
+        vm = VM(jit=jit)
+        vm.load(compile_program(src))
+        return [vm.invoke("T.m", [30]) for _ in range(3)]
+
+    interpreted = value(None)
+    jitted = value(graal_config(compile_threshold=2))
+    assert interpreted == jitted

@@ -1,0 +1,512 @@
+"""Golden equivalence: tier-2 host-compiled machine code vs the ladder.
+
+The tier-2 engine (repro.jvm.tier2 + repro.jit.machine.Tier2Machine +
+repro.jit.emit2) host-compiles the guest JIT's optimized CompiledCode
+into flat Python closures, with OSR entries at any parked machine pc
+and a two-path deopt chain (guest guard failures rematerialize frames
+through FrameState/VirtualObjectState recipes; host traps resume the
+interpretive machine at the exact machine pc).  Its contract is the
+tier-1 contract one tier up: *byte-identical observable behavior* —
+results, counters, simulated clock, stdout, traces, RaceReports —
+under any quantum, seed, JIT config, forced trap at any machine index,
+injected fault, and across serial vs sharded sweeps.  These tests pin
+that contract plus the promotion/OSR/deopt/invalidation mechanics and
+the (tier, method, config-digest)-keyed code cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, ResilientRunner, run_suite
+from repro.harness.core import GuestBenchmark, Runner
+from repro.jit.pipeline import graal_config
+from repro.runtime import VM
+from repro.sanitize.plugin import build_report
+from repro.suites.registry import get_benchmark
+from tests.fixtures import (
+    GUARDED_BENCHMARK,
+    LOCK_CYCLE_BENCHMARK,
+    RACE_BENCHMARK,
+)
+
+#: Registry slice for jitted four-way equivalence: one string workload,
+#: one fork-join, and both benchmarks added alongside this engine
+#: (par-mnemonics is the DS-soundness regression workload).
+JIT_SLICE = ("scrabble", "fj-kmeans", "par-mnemonics", "scala-kmeans")
+
+FIXTURES = (RACE_BENCHMARK, GUARDED_BENCHMARK, LOCK_CYCLE_BENCHMARK)
+
+ENGINES = ("reference", "threaded", "tier1", "tier2")
+
+#: Two-method workload sized so the *guest* JIT compiles ``step``
+#: (invocation threshold 32) inside a single benchmark invocation; the
+#: remaining calls then run as machine frames and cross the tier-2
+#: slice-entry threshold (2), so one invocation tiers all the way up.
+HOT_SRC = """
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var i = 0;
+        while (i < n) { acc = acc + Bench.step(i); i = i + 1; }
+        return acc;
+    }
+    static def step(i) { return i * 2 + 1; }
+}
+"""
+
+#: Loop-heavy inner method: each call burns ~5 * n cycles, so a tiny
+#: scheduler quantum parks the machine frame mid-loop — the promotion
+#: then happens at pc != 0 (on-stack replacement) and lazily extended
+#: entry blocks get exercised.
+SPIN_SRC = """
+class Bench {
+    static def run(n) {
+        var acc = 0;
+        var j = 0;
+        while (j < 40) { acc = acc + Bench.spin(n); j = j + 1; }
+        return acc;
+    }
+    static def spin(n) {
+        var s = 0;
+        var i = 0;
+        while (i < n) { s = s + i; i = i + 1; }
+        return s;
+    }
+}
+"""
+
+
+def hot_bench(name: str, n: int = 80) -> GuestBenchmark:
+    return GuestBenchmark(name=name, suite="tests", source=HOT_SRC,
+                          args=(n,), expected=n * n, warmup=1, measure=1)
+
+
+def spin_bench(name: str, n: int = 300) -> GuestBenchmark:
+    return GuestBenchmark(name=name, suite="tests", source=SPIN_SRC,
+                          args=(n,), expected=40 * (n * (n - 1) // 2),
+                          warmup=1, measure=1)
+
+
+def observe(bench, engine, *, jit="graal", quantum=5000, cores=8, seed=0,
+            invocations=1, trace=None):
+    """Everything an engine run can observably produce."""
+    vm = VM(engine=engine, jit=jit, quantum=quantum, cores=cores,
+            schedule_seed=seed, trace=trace)
+    vm.load(bench.compile())
+    results = [vm.invoke(bench.entry, list(bench.args))
+               for _ in range(invocations)]
+    out = {
+        "results": results,
+        "counters": vm.counters.snapshot(),
+        "clock": vm.scheduler.clock,
+        "stdout": tuple(vm.stdout),
+    }
+    if trace is not None:
+        out["events"] = tuple(vm.trace.event_list())
+    return out, vm
+
+
+def assert_equivalent(bench, **kwargs):
+    ref, _ = observe(bench, "reference", **kwargs)
+    for engine in ("threaded", "tier1", "tier2"):
+        got, _ = observe(bench, engine, **kwargs)
+        assert ref == got, {
+            k: (ref[k], got[k]) for k in ref if ref[k] != got[k]}
+
+
+# ----------------------------------------------------------------------
+# Four-way observable equivalence.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bench", FIXTURES, ids=lambda b: b.name)
+def test_fixtures_equivalent_interpreted(bench):
+    # jit=None means no machine frames: tier-2 must degrade to exactly
+    # tier-1 behaviour (the facade reports zeroed tier-2 metrics).
+    assert_equivalent(bench, jit=None, invocations=2)
+
+
+@pytest.mark.parametrize("name", JIT_SLICE)
+def test_registry_equivalent_jitted(name):
+    # The full ladder: threaded -> tier-1 superblocks -> guest JIT
+    # compile -> interpretive machine -> tier-2 closures, all inside
+    # three invocations.  Profiles, compile points and machine-frame
+    # scheduling must be identical no matter which host tier executes.
+    assert_equivalent(get_benchmark(name), jit="graal", invocations=3)
+
+
+def test_hot_bench_equivalent_jitted():
+    assert_equivalent(hot_bench("hot4way"), invocations=3)
+
+
+@pytest.mark.parametrize("quantum", (37, 127, 1001))
+def test_budget_boundary_equivalence(quantum):
+    # Tiny quanta exhaust the slice budget *inside* emitted tier-2
+    # blocks: the folded budget guard must park frame.pc on the exact
+    # machine instruction with reference-identical counters, and the
+    # lazily grown entry table must resume there next slice.
+    assert_equivalent(spin_bench("budget"), quantum=quantum,
+                      invocations=2)
+
+
+def test_seed_sweep_equivalence_jitted():
+    for seed in (1, 42, 1_000_003):
+        assert_equivalent(get_benchmark("philosophers"), seed=seed,
+                          cores=4, invocations=2)
+
+
+def test_trace_recordings_equivalent():
+    # The flight recorder is part of the byte-identity contract one
+    # tier up: emitted tier-2 blocks bind the recorder at compile time
+    # and must emit the same events in the same order.
+    ref, _ = observe(get_benchmark("philosophers"), "reference",
+                     trace=True, invocations=2)
+    for engine in ("tier1", "tier2"):
+        got, _ = observe(get_benchmark("philosophers"), engine,
+                         trace=True, invocations=2)
+        assert ref["events"] == got["events"]
+        assert ref["counters"] == got["counters"]
+
+
+# ----------------------------------------------------------------------
+# Promotion, OSR and the tier ladder.
+# ----------------------------------------------------------------------
+def test_tier2_engine_selected_and_promotes():
+    from repro.jit.machine import TIER2_THRESHOLD, Tier2Machine
+    from repro.jvm.tier2 import TIER_LADDERS, Tier2Interpreter
+
+    assert TIER_LADDERS["tier2"] == ("threaded", "tier1", "tier2")
+    bench = hot_bench("promote2")
+    vm = VM(engine="tier2", jit="graal")
+    assert isinstance(vm.interpreter, Tier2Interpreter)
+    assert isinstance(vm.machine, Tier2Machine)
+    assert vm.machine.threshold == TIER2_THRESHOLD
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    snap = vm.interpreter.tier2_snapshot()
+    assert snap["promotions"] > 0
+    assert snap["compiled_blocks"] > 0
+    assert snap["compiled_sites"] > 0
+    assert any(name.endswith("Bench.step") for name in snap["methods"])
+    # Bytecode-side tier-1 promotion still happens underneath.
+    assert vm.interpreter.tier1_snapshot()["promotions"] > 0
+
+
+def test_interpreted_tier2_reports_zero_metrics():
+    bench = hot_bench("idle2")
+    vm = VM(engine="tier2", jit=None)
+    vm.load(bench.compile())
+    assert vm.invoke(bench.entry, list(bench.args)) == bench.expected
+    snap = vm.interpreter.tier2_snapshot()
+    assert snap["promotions"] == 0 and snap["compiled_blocks"] == 0
+    metrics = vm.interpreter.tier2_metrics()
+    assert all(v == 0 for v in metrics.values())
+
+
+def test_osr_entries_at_loop_header():
+    # A tiny quantum parks the hot spin loop mid-method; the promotion
+    # then lands at pc != 0 and/or the entry table grows at the parked
+    # pc — both are on-stack replacement and must be observable.
+    bench = spin_bench("osr")
+    vm = VM(engine="tier2", jit="graal", quantum=200)
+    vm.load(bench.compile())
+    for _ in range(2):
+        assert vm.invoke(bench.entry, list(bench.args)) == bench.expected
+    stats = vm.machine.stats
+    assert stats.promotions > 0
+    assert stats.osr_entries > 0
+    assert stats.compile_seconds > 0.0
+
+
+# ----------------------------------------------------------------------
+# The deopt chain.
+# ----------------------------------------------------------------------
+def test_forced_deopt_at_every_machine_pc_is_byte_identical():
+    # Fuzz the host side of the deopt chain: plant a one-shot trap
+    # before *every* machine-code index of the hot method.  Each
+    # trapped run must stay byte-identical to the reference — the
+    # emitted block flushes batched accounting, parks frame.pc on the
+    # trapped instruction, and the interpretive machine resumes there.
+    bench = hot_bench("deoptfuzz2")
+    ref, _ = observe(bench, "reference", invocations=2)
+    probe = VM(engine="tier2", jit="graal")
+    probe.load(bench.compile())
+    probe.invoke(bench.entry, list(bench.args))
+    npcs = len(probe.resolve_static("Bench", "step").compiled.instrs)
+    assert npcs > 0
+    fired = 0
+    for pc in range(npcs):
+        vm = VM(engine="tier2", jit="graal")
+        vm.load(bench.compile())
+        results = [vm.invoke(bench.entry, list(bench.args))]
+        target = vm.resolve_static("Bench", "step")
+        vm.machine.force_deopt(target, pc)
+        results.append(vm.invoke(bench.entry, list(bench.args)))
+        got = {
+            "results": results,
+            "counters": vm.counters.snapshot(),
+            "clock": vm.scheduler.clock,
+            "stdout": tuple(vm.stdout),
+        }
+        assert ref == got, f"tier-2 trap at machine pc {pc} diverged"
+        fired += vm.machine.stats.deopts["forced"]
+    assert fired > 0       # the traps actually triggered somewhere
+
+
+def test_forced_deopt_invalidates_then_recompiles_clean():
+    bench = hot_bench("deoptcycle2")
+    vm = VM(engine="tier2", jit="graal")
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    machine = vm.machine
+    method = vm.resolve_static("Bench", "step")
+    assert machine.code_cache.lookup(
+        machine.tier, method, machine._digest) is not None
+    promotions = machine.stats.promotions
+    machine.force_deopt(method, 0)
+    # The trapped compile is never cached.
+    assert machine.code_cache.lookup(
+        machine.tier, method, machine._digest) is None
+    vm.invoke(bench.entry, list(bench.args))
+    assert machine.stats.deopts["forced"] >= 1
+    # Trap fired -> closures dropped -> repromoted clean and cached.
+    vm.invoke(bench.entry, list(bench.args))
+    assert machine.stats.promotions > promotions
+    assert machine.code_cache.lookup(
+        machine.tier, method, machine._digest) is not None
+
+
+def test_nested_recipe_rematerialization_through_guard_deopt():
+    # A scalar-replaced object graph (Outer holding Inner) referenced
+    # only by deopt recipes: failing the bounds guard inside an emitted
+    # tier-2 block must take the guest deopt path and rebuild the
+    # nested virtuals for the interpreter, identically to the
+    # reference engine.
+    src = """
+    class Inner { var v; def init(v) { this.v = v; } }
+    class Outer { var inner; def init(i) { this.inner = i; } }
+    class Main {
+        static def work(a, i) {
+            var o = new Outer(new Inner(7));
+            return a[i] + o.inner.v;
+        }
+        static def drive(i) {
+            var a = new int[8];
+            return Main.work(a, i);
+        }
+    }"""
+    from repro.errors import GuestBoundsError
+    from repro.lang import compile_program
+
+    def run(engine):
+        vm = VM(engine=engine, jit=graal_config(compile_threshold=3))
+        vm.load(compile_program(src))
+        values = [vm.invoke("Main.drive", [3]) for _ in range(6)]
+        virtuals = vm.resolve_static("Main", "drive").compiled.virtual_objects
+        with pytest.raises(GuestBoundsError):
+            vm.invoke("Main.drive", [9])
+        values.append(vm.invoke("Main.drive", [3]))
+        return values, virtuals, vm.counters.snapshot(), vm
+
+    ref_values, ref_virtuals, ref_counters, _ = run("reference")
+    t2_values, t2_virtuals, t2_counters, vm = run("tier2")
+    assert ref_values == t2_values == [7] * 7
+    assert ref_counters == t2_counters
+    # Escape analysis scalar-replaced the Outer->Inner pair and the
+    # compile carried *nested* rematerialization recipes: an Outer
+    # whose field value is itself a virtual-object reference.
+    assert any(cls == "Outer" and any(v[0] == "v" for _, v in fields)
+               for cls, fields in t2_virtuals)
+    assert ref_virtuals == t2_virtuals
+    assert vm.machine.stats.promotions > 0
+    # The guard failed *inside* emitted tier-2 code (host-side
+    # bookkeeping), replaying the recipes on the guest deopt path.
+    assert vm.machine.stats.deopts["guard"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Faults, sanitizer, verify_ir.
+# ----------------------------------------------------------------------
+def test_injected_fault_deopts_cleanly():
+    # Fault site 75 lands in the second invocation, well after the
+    # guest JIT compiled `step` and tier-2 promoted it: the fault must
+    # unwind from emitted code with the reference-identical report.
+    plan = FaultPlan.single("guest-exception", site="Bench.step", at=75,
+                            seed=7, message="boom")
+    bench = hot_bench("faultdeopt2")
+    ref = ResilientRunner(bench, jit="graal", faults=plan,
+                          engine="reference").run()
+    t2 = ResilientRunner(bench, jit="graal", faults=plan,
+                         engine="tier2").run()
+    assert not ref.ok and not t2.ok
+    assert ref.failure.to_json() == t2.failure.to_json()
+
+
+def checked_report_json(bench, engine):
+    vm = VM(engine=engine, jit=None, sanitize=True, schedule_seed=0)
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    return build_report(vm.sanitizer, vm, bench.name).to_json()
+
+
+@pytest.mark.parametrize("bench", FIXTURES, ids=lambda b: b.name)
+def test_race_reports_equivalent(bench):
+    ref = checked_report_json(bench, "reference")
+    assert checked_report_json(bench, "tier2") == ref
+
+
+def test_sanitizer_attach_drops_tier2_code_and_promotion():
+    from repro.sanitize.hb import RaceSanitizer
+
+    bench = hot_bench("sanattach2")
+    vm = VM(engine="tier2", jit="graal")
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    engine = vm.interpreter
+    assert engine.cache_info()["tier2"]["size"] > 0
+
+    assert engine.tier2_snapshot()["promotions"] > 0
+
+    # Emitted closures carry no access hooks; attaching a sanitizer
+    # must drop tier-1 AND tier-2 artifacts, disable promotion, and
+    # detach the machine entirely (checked runs are interpreter-only).
+    RaceSanitizer().attach(vm)
+    assert engine.cache_info()["tier1"]["size"] == 0
+    assert engine.cache_info()["tier2"]["size"] == 0
+    assert vm.machine is None
+    assert vm.invoke(bench.entry, list(bench.args)) == bench.expected
+    assert engine.tier2_snapshot()["promotions"] == 0
+    assert engine.cache_info()["tier2"]["size"] == 0
+
+
+def test_verify_ir_validates_tier2_entry_tables():
+    # verify_ir re-derives every emitted block's (leader, sites, cum,
+    # end_pc) ground truth independently (repro.sanitize.blockverify);
+    # a sound compile passes and counts its blocks.
+    bench = hot_bench("verify2")
+    vm = VM(engine="tier2", jit="graal", verify_ir=True)
+    vm.load(bench.compile())
+    assert vm.invoke(bench.entry, list(bench.args)) == bench.expected
+    assert vm.machine.stats.promotions > 0
+    assert vm.irverify_stats.get("blocks", 0) > 0
+    assert vm.irverify_stats.get("issues", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Config-digest-keyed compiled-code cache.
+# ----------------------------------------------------------------------
+def test_compiled_method_cache_is_digest_keyed():
+    from repro.jvm.cache import CompiledMethodCache
+
+    cache = CompiledMethodCache()
+    method = object()
+    cache.install("tier2", method, "closuresA", "digestA")
+    assert cache.lookup("tier2", method, "digestA") == "closuresA"
+    # Same tier and method, different JIT config: never served.
+    assert cache.lookup("tier2", method, "digestB") is None
+    # Same method, different tier: never served either.
+    assert cache.lookup("tier1", method) is None
+    assert cache.invalidate("tier2", method) == 1
+    assert cache.lookup("tier2", method, "digestA") is None
+
+
+def test_tier2_cache_digest_tracks_jit_config():
+    from repro.jit.pipeline import config_digest
+
+    bench = hot_bench("digest2")
+    full = VM(engine="tier2", jit="graal")
+    noea = VM(engine="tier2", jit=graal_config().without("EAWA"))
+    assert full.machine._digest == config_digest(full.jit.config)
+    assert noea.machine._digest == config_digest(noea.jit.config)
+    assert full.machine._digest != noea.machine._digest
+    for vm in (full, noea):
+        vm.load(bench.compile())
+        assert vm.invoke(bench.entry, list(bench.args)) == bench.expected
+        method = vm.resolve_static("Bench", "step")
+        assert vm.machine.code_cache.lookup(
+            "tier2", method, vm.machine._digest) is not None
+
+
+def test_requicken_drops_tier2_code():
+    bench = hot_bench("requicken2")
+    vm = VM(engine="tier2", jit="graal")
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    machine = vm.machine
+    method = vm.resolve_static("Bench", "step")
+    assert machine.code_cache.lookup(
+        machine.tier, method, machine._digest) is not None
+    assert vm.interpreter.requicken(method) is True
+    assert machine.code_cache.lookup(
+        machine.tier, method, machine._digest) is None
+    assert vm.invoke(bench.entry, list(bench.args)) == bench.expected
+
+
+def test_cache_info_parity_with_tier1_shape():
+    bench = hot_bench("cacheinfo2")
+    vm = VM(engine="tier2", jit="graal")
+    vm.load(bench.compile())
+    vm.invoke(bench.entry, list(bench.args))
+    info = vm.interpreter.cache_info()
+    for key in ("size", "hits", "misses", "hit_rate", "invalidations"):
+        assert key in info and key in info["tier1"] and key in info["tier2"]
+    assert info["tier2"]["size"] > 0
+    # jit=None: the tier-2 slot is present but empty (shape parity).
+    idle = VM(engine="tier2", jit=None)
+    idle.load(bench.compile())
+    idle.invoke(bench.entry, list(bench.args))
+    assert idle.interpreter.cache_info()["tier2"]["size"] == 0
+
+
+# ----------------------------------------------------------------------
+# Harness, metrics, sweeps.
+# ----------------------------------------------------------------------
+def test_runner_attaches_tier2_snapshot():
+    result = Runner(hot_bench("harness3"), jit="graal",
+                    engine="tier2").run()
+    assert result.tier2 is not None
+    assert result.tier2["promotions"] > 0
+    assert result.tier1 is not None        # the tier below still runs
+    threaded = Runner(hot_bench("harness4"), jit="graal").run()
+    assert threaded.tier2 is None
+
+
+def test_metrics_plugin_exports_tier2_counters():
+    from repro.metrics.profiler import TIER2_METRIC_NAMES, MetricsPlugin
+
+    plugin = MetricsPlugin()
+    Runner(hot_bench("metrics3"), jit="graal", engine="tier2",
+           plugins=(plugin,)).run()
+    assert plugin.raw["tier2_promotions"] > 0
+    assert plugin.raw["tier2_compiled_blocks"] > 0
+    plugin2 = MetricsPlugin()
+    Runner(hot_bench("metrics4"), jit="graal", plugins=(plugin2,)).run()
+    assert all(plugin2.raw[name] == 0 for name in TIER2_METRIC_NAMES)
+
+
+def test_durable_fingerprint_records_tier_ladder():
+    from repro.harness.durable import _config_fingerprint
+
+    base = dict(jit=None, sanitize=None, cores=8, schedule_seed=0,
+                warmup=1, measure=1, iteration_budget=None, max_retries=2)
+    tier2 = _config_fingerprint(dict(base, engine="tier2"), None, ())
+    tier1 = _config_fingerprint(dict(base, engine="tier1"), None, ())
+    default = _config_fingerprint(base, None, ())
+    assert tier2["tier_ladder"] == ["threaded", "tier1", "tier2"]
+    assert tier1["tier_ladder"] == ["threaded", "tier1"]
+    assert default["tier_ladder"] == ["threaded"]
+    assert len({repr(f) for f in (tier2, tier1, default)}) == 3
+
+
+def test_sharded_tier2_sweep_matches_serial():
+    benches = (hot_bench("shard2-a", 60), hot_bench("shard2-b", 90))
+    kwargs = dict(jit="graal", warmup=1, measure=1, engine="tier2")
+    serial = run_suite(benches, **kwargs)
+    sharded = run_suite(benches, jobs=2, **kwargs)
+    assert [r.fingerprint() for r in serial.results] == \
+        [r.fingerprint() for r in sharded.results]
+    # The tier ladder's byte-identity contract: a unit fingerprints the
+    # same under every engine.
+    tier1 = run_suite(benches, jit="graal", warmup=1, measure=1,
+                      engine="tier1")
+    assert [r.fingerprint() for r in serial.results] == \
+        [r.fingerprint() for r in tier1.results]
