@@ -39,6 +39,14 @@ verify-ir:
 durable:
 	PYTHONPATH=src python -m pytest -q -m "durable or not chaos" tests/test_durable.py -s
 
+# Tier-2: the full benchmark-as-a-service suite — everything in
+# tests/test_serve.py including the subprocess SIGTERM drain/restart
+# recovery scenario that tier-1 skips via the `serve` marker.  Never
+# gates tier-1.  To run the service itself:
+#   PYTHONPATH=src python -m repro.serve --dir .sweeps/service
+serve:
+	PYTHONPATH=src python -m pytest -q -m "serve or not chaos" tests/test_serve.py -s
+
 # Tier-1 engine focus: the superblock-engine test suite plus the
 # selfbench check that gates tier1 at ≥2.5x threaded ops/sec.
 tier1:
@@ -80,4 +88,4 @@ trace:
 		--out .trace-out --warmup 1 --measure 1
 	@ls -l .trace-out
 
-.PHONY: test chaos sanitize lint verify-ir tier1 tier2 bench bench-check trace
+.PHONY: test chaos sanitize lint verify-ir tier1 tier2 bench bench-check trace durable serve

@@ -187,6 +187,60 @@ def durable_overhead(reps: int = REPS + 2) -> dict:
     return out
 
 
+def serve_overhead(reps: int = REPS) -> dict:
+    """Service-path dispatch overhead vs a direct durable sweep.
+
+    Runs the same slice twice per rep: a direct serial
+    ``run_suite(durable_dir=...)`` and the full benchmark service
+    (:mod:`repro.serve` — HTTP submit, scheduler, one supervised
+    worker, NDJSON event streaming via the blocking client).  Fresh
+    directory each time so every unit actually executes.  Service
+    startup/teardown is excluded from the timed window — the gate is
+    about per-job dispatch overhead (HTTP + journal + pipe + event
+    loop), not process spawning.
+    """
+    import shutil
+    import tempfile
+
+    from repro.faults.resilience import run_suite
+    from repro.serve.testing import ServiceThread
+
+    benches = _resolve_workloads()
+    spec = {"benchmarks": [b.name for b in benches], "jit": "none",
+            "warmup": 1, "measure": 1}
+    kwargs = dict(jit=None, warmup=1, measure=1, schedule_seed=0)
+    walls = {"direct": float("inf"), "service": float("inf")}
+    for _ in range(reps):
+        tmp = tempfile.mkdtemp(prefix="selfbench-serve-direct-")
+        try:
+            started = time.perf_counter()
+            run_suite(benches, durable_dir=tmp, **kwargs)
+            walls["direct"] = min(walls["direct"],
+                                  time.perf_counter() - started)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        tmp = tempfile.mkdtemp(prefix="selfbench-serve-svc-")
+        try:
+            with ServiceThread(tmp, workers=1) as svc:
+                client = svc.client(timeout=600)
+                started = time.perf_counter()
+                job = client.submit(dict(spec))
+                final = client.wait(job["id"], timeout=600)
+                elapsed = time.perf_counter() - started
+                assert final["state"] == "done", final
+                walls["service"] = min(walls["service"], elapsed)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    overhead = walls["service"] / walls["direct"] - 1.0 \
+        if walls["direct"] else 0.0
+    out = {
+        "wall_seconds": {k: round(v, 6) for k, v in walls.items()},
+        "overhead": round(overhead, 4),
+    }
+    print(f"serve overhead: {overhead * 100:+.1f}% vs direct sweep")
+    return out
+
+
 def verify_overhead(reps: int = REPS, invocations: int = 10) -> dict:
     """Aggregate slowdown of the compiler-verification layer.
 
@@ -396,6 +450,7 @@ def run(out_path: Path) -> dict:
         "schema": "selfbench/1",
         "trace_overhead": trace_overhead(),
         "durable_overhead": durable_overhead(),
+        "serve_overhead": serve_overhead(),
         "verify_overhead": verify_overhead(),
         "tier2_jit": tier2_jit_section(),
         "workloads": per_bench,
@@ -423,6 +478,14 @@ TRACE_ENABLED_CEILING = 0.15
 #: what a real regression (an fsync per record, units re-executing on
 #: a warm store) would cost.
 DURABLE_OVERHEAD_CEILING = 0.10
+
+#: Benchmark-service dispatch overhead ceiling (ISSUE 10 contract):
+#: submitting the slice as one job over HTTP and streaming its events
+#: may cost at most 10% wall time over the equivalent direct
+#: ``run_suite(durable_dir=...)`` — the scheduler, journal, worker
+#: pipe, and NDJSON plumbing must stay in the noise next to actual
+#: benchmark execution.
+SERVE_OVERHEAD_CEILING = 0.10
 
 #: Compiler-verification overhead ceilings (ISSUE 8 contract): a
 #: disabled ``verify_ir`` flag must cost nothing — the ceiling is the
@@ -486,6 +549,14 @@ def check(current: dict, baseline_path: Path,
         print(f"bench-check: durable sweep ops/sec drop {drop * 100:+.1f}% "
               f"(ceiling {DURABLE_OVERHEAD_CEILING * 100:.0f}%): {verdict}")
         if drop > DURABLE_OVERHEAD_CEILING:
+            failed = 1
+    serve = current.get("serve_overhead")
+    if serve is not None:
+        value = serve["overhead"]
+        verdict = "ok" if value <= SERVE_OVERHEAD_CEILING else "REGRESSION"
+        print(f"bench-check: service dispatch overhead {value * 100:+.1f}% "
+              f"(ceiling {SERVE_OVERHEAD_CEILING * 100:.0f}%): {verdict}")
+        if value > SERVE_OVERHEAD_CEILING:
             failed = 1
     tier1_speedup = current["suite"].get("tier1_speedup")
     if tier1_speedup is not None:

@@ -1,0 +1,63 @@
+"""Benchmark-as-a-service walkthrough: submit a sweep, stream events,
+fetch results by digest, and prove the cache by resubmitting.
+
+Starts a service on a background thread (the same `Service` that
+`python -m repro.serve` runs), submits a small sweep spec over HTTP,
+tails the NDJSON event stream, decodes an outcome fetched from the
+content-addressed store, then resubmits the identical spec and shows
+that it executes zero units — everything is a store hit.
+
+Run:  PYTHONPATH=src python examples/serve_client.py
+"""
+
+import tempfile
+
+from repro.serve.testing import ServiceThread
+
+SPEC = {
+    "benchmarks": ["scrabble", "philosophers"],
+    "repeat": 2,
+    "jit": "none",        # interpreter only, to keep the demo quick
+    "warmup": 1,
+    "measure": 1,
+}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as dir:
+        with ServiceThread(dir, workers=2) as service:
+            client = service.client()
+            print(f"service listening on 127.0.0.1:{service.port}")
+
+            # Submit and follow the live NDJSON event stream.
+            job = client.submit(SPEC)
+            print(f"submitted job {job['id']}: "
+                  f"{job['total_units']} units")
+            for event in client.events(job["id"]):
+                if event["kind"] == "stage":
+                    continue            # prepare/run/collect/teardown
+                fields = {k: v for k, v in event.items()
+                          if k not in ("schema", "job", "seq", "kind")}
+                print(f"  [{event['seq']:3d}] {event['kind']:12s} {fields}")
+
+            # Fetch one stored outcome by digest and decode it.
+            done = client.job(job["id"])
+            digest = next(iter(done["unit_states"]))
+            outcome = client.result(digest)
+            result = outcome["result"]
+            print(f"fetched {digest[:12]}…: {result.benchmark} "
+                  f"({len(result.iterations)} iterations) "
+                  f"fingerprint {result.fingerprint()[:12]}…")
+
+            # Resubmit the identical spec: served entirely from the
+            # store, zero new executions.
+            again = client.submit(SPEC)
+            client.wait(again["id"])
+            m = client.metrics()
+            print(f"resubmit: executed={m['serve_units_executed']:.0f} "
+                  f"cached={m['serve_units_cached']:.0f} "
+                  f"(identical spec -> all cache hits)")
+
+
+if __name__ == "__main__":
+    main()

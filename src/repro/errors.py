@@ -150,6 +150,21 @@ class DurableSweepError(ReproError):
     mismatch on resume, or plugins that cannot be persisted)."""
 
 
+class StoreLockedError(DurableSweepError):
+    """The sweep directory's journal/store is held by another writer.
+
+    The journal and the content-addressed store assume a single writer;
+    :class:`~repro.harness.store.StoreLock` enforces it with an
+    advisory ``flock`` so a durable sweep and a ``repro.serve`` service
+    (or two services) can never interleave writes into one directory.
+    """
+
+
+class ServeError(ReproError):
+    """Misuse of the benchmark service (:mod:`repro.serve`): a bad
+    sweep spec, an unknown job id, or a submit after drain began."""
+
+
 class DeadlockError(VMError):
     """All guest threads are blocked and none can make progress.
 

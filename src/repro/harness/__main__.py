@@ -73,6 +73,58 @@ def write_report(suite, path: str, code: int) -> None:
         fh.write("\n")
 
 
+def referenced_digests(sweep_dir: str) -> set:
+    """Digests any journal in ``sweep_dir`` still refers to.
+
+    Both journal flavors count: a durable sweep's ``journal.wal``
+    (``unit-done``/``unit-cached`` records) and a service's
+    ``serve.wal`` (the per-job digest lists journaled at submit).
+    """
+    import os
+
+    from repro.harness.journal import Journal
+
+    referenced: set = set()
+    for name in ("journal.wal", "serve.wal"):
+        path = os.path.join(sweep_dir, name)
+        if not os.path.exists(path):
+            continue
+        for record in Journal(path).replay().records:
+            if "digest" in record:
+                referenced.add(record["digest"])
+            for digest in record.get("digests", ()):
+                referenced.add(digest)
+    return referenced
+
+
+def store_maintenance(ls_dir: str | None, gc_dir: str | None) -> int:
+    """``--store-ls`` / ``--store-gc``: inspect or prune a result store."""
+    from repro.harness.store import ResultStore
+
+    if ls_dir:
+        store = ResultStore(ls_dir)
+        entries = store.ls()
+        referenced = referenced_digests(ls_dir)
+        bad = 0
+        for entry in entries:
+            mark = "ok" if entry["ok"] else f"BAD ({entry['reason']})"
+            ref = "" if entry["digest"] in referenced else "  unreferenced"
+            print(f"{entry['digest']}  {entry['bytes']:>8d}B  {mark}{ref}")
+            if not entry["ok"]:
+                bad += 1
+        print(f"{len(entries)} objects, {bad} bad, "
+              f"{len(referenced)} journal-referenced")
+        return EXIT_OK if bad == 0 else EXIT_FAILURES
+    store = ResultStore(gc_dir)
+    stats = store.gc(referenced=referenced_digests(gc_dir))
+    print(f"store-gc: kept {stats['kept']}, pruned "
+          f"{stats['pruned_corrupt']} corrupt + "
+          f"{stats['pruned_unreferenced']} unreferenced + "
+          f"{stats['pruned_tmp']} temp "
+          f"({stats['bytes_freed']} bytes freed)")
+    return EXIT_OK
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -120,7 +172,16 @@ def main(argv=None) -> int:
                              "completed units from its store")
     parser.add_argument("--report", metavar="OUT.json", default=None,
                         help="write a machine-readable failure report")
+    parser.add_argument("--store-ls", metavar="DIR", default=None,
+                        help="list the content-addressed store in DIR "
+                             "(digest, size, checksum verdict) and exit")
+    parser.add_argument("--store-gc", metavar="DIR", default=None,
+                        help="prune corrupt, orphaned and journal-"
+                             "unreferenced store objects in DIR and exit")
     args = parser.parse_args(argv)
+
+    if args.store_ls or args.store_gc:
+        return store_maintenance(args.store_ls, args.store_gc)
 
     from repro.errors import DurableSweepError, SweepInterrupted
     from repro.faults.resilience import run_suite

@@ -58,6 +58,7 @@ from repro.harness.journal import Journal
 from repro.jvm.tier2 import TIER_LADDERS
 from repro.harness.store import (
     ResultStore,
+    StoreLock,
     canonical_digest,
     decode_outcome,
     encode_outcome,
@@ -450,23 +451,33 @@ class DurableSweep:
     # ------------------------------------------------------------------
     def _open(self) -> None:
         os.makedirs(self.dir, exist_ok=True)
+        # Single-writer discipline: a concurrent controller (another
+        # sweep, or a repro.serve service) on the same directory would
+        # interleave journal records; fail fast instead.
+        self.lock = StoreLock(self.dir).acquire(
+            owner=f"durable sweep of {self.suite_name}")
         journal_path = os.path.join(self.dir, "journal.wal")
-        if os.path.exists(journal_path) and not self.resume:
-            raise DurableSweepError(
-                f"{self.dir} already holds a sweep journal; pass "
-                f"resume=True (CLI: --resume) to continue it")
-        self.store = ResultStore(self.dir)
-        self.journal = Journal(journal_path, fsync=self.policy.fsync)
-        if self.resume and os.path.exists(journal_path):
-            replay = self.journal.replay()
-            self.stats["corrupt_journal_entries"] = len(replay.corrupt)
-            begin = replay.last_of_kind("sweep-begin")
-            if begin is not None and begin.get("fingerprint") is not None \
-                    and begin["fingerprint"] != self.fingerprint:
+        try:
+            if os.path.exists(journal_path) and not self.resume:
                 raise DurableSweepError(
-                    "resume spec mismatch: this directory was written by "
-                    "a sweep with different run parameters "
-                    f"({begin['fingerprint']} != {self.fingerprint})")
+                    f"{self.dir} already holds a sweep journal; pass "
+                    f"resume=True (CLI: --resume) to continue it")
+            self.store = ResultStore(self.dir)
+            self.journal = Journal(journal_path, fsync=self.policy.fsync)
+            if self.resume and os.path.exists(journal_path):
+                replay = self.journal.replay()
+                self.stats["corrupt_journal_entries"] = len(replay.corrupt)
+                begin = replay.last_of_kind("sweep-begin")
+                if begin is not None \
+                        and begin.get("fingerprint") is not None \
+                        and begin["fingerprint"] != self.fingerprint:
+                    raise DurableSweepError(
+                        "resume spec mismatch: this directory was written "
+                        "by a sweep with different run parameters "
+                        f"({begin['fingerprint']} != {self.fingerprint})")
+        except Exception:
+            self.lock.release()
+            raise
         self.journal.open()
         self.journal.append(
             "sweep-begin", suite=self.suite_name,
@@ -849,12 +860,55 @@ class DurableSweep:
                 "sweep-end", completed=len(out.results),
                 stats={k: v for k, v in self.stats.items()
                        if k != "interrupted"})
+            if not self.stats["respawns"]:
+                # A respawn leaves shard-exit/shard-respawn forensics
+                # in the journal; keep them for this session and let
+                # the next clean completion compact.
+                self._compact_journal()
             return out
         finally:
             self.journal.close()
+            self.lock.release()
             if previous:
                 for signum, old in previous.items():
                     signal.signal(signum, old)
+
+    def _compact_journal(self) -> None:
+        """Bound replay cost: rewrite the journal after clean completion.
+
+        Across resumes an append-only journal replays every historical
+        stage/supervision record again and again.  Once a sweep reaches
+        ``sweep-end`` the store is authoritative, so only three record
+        classes still earn their keep: the latest ``sweep-begin`` (the
+        resume fingerprint check), the latest completion record per unit
+        digest (``--store-gc``'s referenced set), and the latest
+        ``sweep-end``.  Everything else — stages, heartbeat-era shard
+        supervision, drains of prior sessions — is dropped, so the
+        journal size is bounded by the unit count no matter how many
+        times the sweep was killed and resumed.
+        """
+        replay = self.journal.replay()
+        per_digest: dict[str, dict] = {}
+        for record in replay.records:
+            if record["kind"] in ("unit-done", "unit-cached"):
+                previous = per_digest.get(record["digest"])
+                # unit-cached just re-confirms an earlier unit-done;
+                # keep the execution record when both exist.
+                if previous is None or record["kind"] == "unit-done":
+                    per_digest[record["digest"]] = record
+        keep: list[dict] = []
+        begin = replay.last_of_kind("sweep-begin")
+        if begin is not None:
+            keep.append(begin)
+        keep.extend(sorted(per_digest.values(), key=lambda r: r["seq"]))
+        end = replay.last_of_kind("sweep-end")
+        if end is not None:
+            keep.append(end)
+        dropped = len(replay.records) - len(keep)
+        if dropped > 0:
+            self.journal.compact(keep)
+            self.journal.append("journal-compact", dropped=dropped,
+                                kept=len(keep))
 
 
 def run_suite_durable(suite="renaissance", *, dir, resume: bool = False,

@@ -107,6 +107,31 @@ class Journal:
             self._fh.close()
             self._fh = None
 
+    def compact(self, records: list[dict]) -> None:
+        """Atomically rewrite the journal to hold only ``records``.
+
+        Journals are append-only during a run, so across many resumes
+        (or a long-lived service) replay cost grows without bound.
+        Compaction rewrites the file wholesale — resequenced from 0,
+        temp file + ``os.replace`` so a crash mid-compaction leaves the
+        old journal intact.  Callers pick what survives (e.g. the sweep
+        fingerprint and one ``unit-done`` per digest); everything else
+        is historical narration the store has already superseded.
+        """
+        was_open = self._fh is not None
+        self.close()
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for seq, record in enumerate(records):
+                body = dict(record)
+                body["seq"] = seq
+                fh.write(_encode(body))
+            fh.flush()
+        os.replace(tmp, self.path)
+        self._seq = len(records)
+        if was_open:
+            self._fh = open(self.path, "a", encoding="utf-8")
+
     def __enter__(self) -> Journal:
         return self.open()
 

@@ -26,6 +26,13 @@ import json
 import os
 import pickle
 
+from repro.errors import StoreLockedError
+
+try:                                                 # POSIX only; the
+    import fcntl                                     # lock degrades to
+except ImportError:                                  # pragma: no cover
+    fcntl = None                                     # a no-op elsewhere
+
 
 def canonical_digest(key: dict) -> str:
     """SHA-256 of the canonical JSON encoding of a unit key."""
@@ -39,6 +46,60 @@ def encode_outcome(outcome: dict) -> bytes:
 
 def decode_outcome(payload: bytes) -> dict:
     return pickle.loads(payload)
+
+
+class StoreLock:
+    """Advisory single-writer lock over one sweep/store directory.
+
+    The journal and store tolerate crashed writers (checksums, atomic
+    replace) but not *concurrent* ones: two controllers appending to one
+    journal interleave records, and resume-time replay would attribute
+    them to the wrong sweep.  An exclusive ``flock`` on
+    ``<root>/store.lock`` makes the single-writer assumption explicit —
+    a second opener gets :class:`~repro.errors.StoreLockedError`
+    immediately instead of corrupting state, and a ``kill -9`` releases
+    the lock automatically with the process.
+    """
+
+    def __init__(self, root) -> None:
+        self.path = os.path.join(str(root), "store.lock")
+        self._fh = None
+
+    def acquire(self, *, owner: str = "writer") -> "StoreLock":
+        if fcntl is None:                            # pragma: no cover
+            return self
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        fh = open(self.path, "a+")
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            fh.seek(0)
+            holder = fh.read(256).strip() or "another process"
+            fh.close()
+            raise StoreLockedError(
+                f"{os.path.dirname(self.path)} is locked by {holder}; "
+                f"the journal/store allow a single writer — stop it "
+                f"first (a killed writer releases the lock itself)")
+        fh.truncate(0)
+        fh.write(f"{owner} pid={os.getpid()}\n")
+        fh.flush()
+        self._fh = fh
+        return self
+
+    def release(self) -> None:
+        if self._fh is not None:
+            try:
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            except OSError:                          # pragma: no cover
+                pass
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
 
 
 class ResultStore:
@@ -99,3 +160,85 @@ class ResultStore:
             1 for fan in os.listdir(self.objects)
             for name in os.listdir(os.path.join(self.objects, fan))
             if not name.endswith(".tmp"))
+
+    # ------------------------------------------------------------------
+    # Maintenance: listing, verification, garbage collection.
+    # ------------------------------------------------------------------
+    def _entries(self):
+        """Yield (digest, path) for every stored object, sorted."""
+        if not os.path.isdir(self.objects):
+            return
+        for fan in sorted(os.listdir(self.objects)):
+            fan_dir = os.path.join(self.objects, fan)
+            for name in sorted(os.listdir(fan_dir)):
+                yield name, os.path.join(fan_dir, name)
+
+    def verify(self, digest: str) -> tuple[bool, int, str]:
+        """Non-destructive checksum check: (ok, payload bytes, reason).
+
+        Unlike :meth:`get`, a corrupt object is *not* unlinked — this is
+        the read-only half that ``--store-ls`` and :meth:`gc` share.
+        """
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                header = fh.readline().strip()
+                payload = fh.read()
+        except OSError:
+            return False, 0, "absent"
+        if hashlib.sha256(payload).hexdigest().encode() != header:
+            return False, len(payload), "payload checksum mismatch"
+        return True, len(payload), "ok"
+
+    def ls(self) -> list[dict]:
+        """Every object with its size and verification verdict."""
+        out = []
+        for digest, path in self._entries():
+            if digest.endswith(".tmp"):
+                out.append({"digest": digest[:-4], "bytes":
+                            os.path.getsize(path), "ok": False,
+                            "reason": "orphan temp file"})
+                continue
+            ok, size, reason = self.verify(digest)
+            out.append({"digest": digest, "bytes": size, "ok": ok,
+                        "reason": reason})
+        return out
+
+    def gc(self, referenced: set | None = None) -> dict:
+        """Prune corrupt objects, orphan temp files, and (when a
+        ``referenced`` digest set is given) entries no journal refers to.
+
+        Determinism makes pruning always safe: a pruned unit simply
+        re-runs on the next sweep that needs it.  Returns counters
+        (``kept``/``pruned_corrupt``/``pruned_unreferenced``/
+        ``pruned_tmp``/``bytes_freed``).
+        """
+        stats = {"kept": 0, "pruned_corrupt": 0, "pruned_unreferenced": 0,
+                 "pruned_tmp": 0, "bytes_freed": 0}
+
+        def unlink(path: str, bucket: str) -> None:
+            try:
+                stats["bytes_freed"] += os.path.getsize(path)
+                os.unlink(path)
+            except OSError:                          # pragma: no cover
+                return
+            stats[bucket] += 1
+
+        for digest, path in self._entries():
+            if digest.endswith(".tmp"):
+                unlink(path, "pruned_tmp")
+                continue
+            ok, _, _ = self.verify(digest)
+            if not ok:
+                unlink(path, "pruned_corrupt")
+            elif referenced is not None and digest not in referenced:
+                unlink(path, "pruned_unreferenced")
+            else:
+                stats["kept"] += 1
+        # Drop fan-out directories emptied by the pruning.
+        if os.path.isdir(self.objects):
+            for fan in os.listdir(self.objects):
+                fan_dir = os.path.join(self.objects, fan)
+                if not os.listdir(fan_dir):
+                    os.rmdir(fan_dir)
+        return stats

@@ -6,6 +6,7 @@ principal-component computation behind Figures 1/8 and Table 3.
 from repro.metrics.profiler import (
     METRIC_NAMES,
     SANITIZER_METRIC_NAMES,
+    SERVE_METRIC_NAMES,
     MetricsPlugin,
     collect_checked_metrics,
     collect_metrics,
@@ -14,7 +15,8 @@ from repro.metrics.normalize import normalize_metrics, normalize_sanitizer_metri
 from repro.metrics.pca import PcaResult, run_pca
 
 __all__ = [
-    "METRIC_NAMES", "SANITIZER_METRIC_NAMES", "MetricsPlugin",
+    "METRIC_NAMES", "SANITIZER_METRIC_NAMES", "SERVE_METRIC_NAMES",
+    "MetricsPlugin",
     "collect_metrics", "collect_checked_metrics",
     "normalize_metrics", "normalize_sanitizer_metrics",
     "PcaResult", "run_pca",

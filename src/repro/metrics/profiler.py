@@ -51,6 +51,19 @@ TIER2_METRIC_NAMES = ("tier2_promotions", "tier2_compiled_blocks",
 IRVERIFY_METRIC_NAMES = ("irverify_graphs", "irverify_phase_checks",
                          "irverify_blocks", "irverify_issues")
 
+#: Benchmark-as-a-service counters (repro.serve): job/unit lifecycle,
+#: store dedup effectiveness, HTTP traffic, and supervision events.
+#: Service-side bookkeeping — exported as Prometheus-style counters by
+#: ``GET /metrics`` and never part of the byte-identity contract.
+SERVE_METRIC_NAMES = (
+    "serve_jobs_submitted", "serve_jobs_completed", "serve_jobs_failed",
+    "serve_jobs_cancelled", "serve_jobs_recovered",
+    "serve_units_total", "serve_units_cached", "serve_units_deduped",
+    "serve_units_executed", "serve_units_failed", "serve_units_skipped",
+    "serve_http_requests", "serve_http_errors", "serve_events_streamed",
+    "serve_workers_respawned",
+)
+
 #: Sanitizer counters exported from checked runs (repro.sanitize), for
 #: Table-7-style per-benchmark tables.  ``mean_lockset`` is derived:
 #: average number of monitors held at each acquisition.

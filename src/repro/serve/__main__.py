@@ -1,0 +1,74 @@
+"""``python -m repro.serve``: run the benchmark service.
+
+::
+
+    python -m repro.serve --dir .sweeps/service            # port 8321
+    python -m repro.serve --dir .sweeps/service --port 0   # ephemeral
+    python -m repro.serve --dir D --workers 4 --host 0.0.0.0
+
+Prints ``repro.serve listening on http://HOST:PORT`` once the socket
+is bound (tests and scripts wait for that line).  SIGTERM/SIGINT drain
+gracefully: in-flight units finish and persist, the journal records
+what was left, and the process exits 0 if every job completed or 4
+(the sweeps' "interrupted, resume me" code) if unfinished jobs remain
+— restart with the same ``--dir`` to recover them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.errors import ReproError
+from repro.harness.__main__ import EXIT_FAILURES, EXIT_INTERRUPTED, EXIT_OK
+from repro.harness.durable import DurablePolicy
+from repro.serve.api import Service
+
+DEFAULT_PORT = 8321
+
+
+async def _amain(args) -> int:
+    policy = DurablePolicy(drain_timeout=args.drain_timeout)
+    service = Service(args.dir, host=args.host, port=args.port,
+                      workers=args.workers, policy=policy)
+    await service.start()
+    service.install_signal_handlers()
+    print(f"repro.serve listening on "
+          f"http://{service.host}:{service.port}", flush=True)
+    unfinished = await service.serve_until_shutdown()
+    if unfinished:
+        print(f"drained with {len(unfinished)} unfinished job(s): "
+              f"{', '.join(unfinished)} — restart with --dir {args.dir} "
+              f"to recover", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    return EXIT_OK
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Benchmark-as-a-service over a durable sweep "
+                    "directory")
+    parser.add_argument("--dir", required=True,
+                        help="journal + content-addressed store "
+                             "directory (shared with --durable sweeps)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"listen port (default {DEFAULT_PORT}; "
+                             f"0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="supervised worker processes (default 2)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds to wait for in-flight units on "
+                             "SIGTERM (default 30)")
+    args = parser.parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURES
+
+
+if __name__ == "__main__":
+    sys.exit(main())

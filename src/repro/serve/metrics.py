@@ -1,0 +1,57 @@
+"""Service counters, exported Prometheus-style by ``GET /metrics``.
+
+The counter names live in :data:`repro.metrics.SERVE_METRIC_NAMES` next
+to the Table-2 metric roster so the whole observable surface of the
+reproduction is declared in one module.  Counters only ever increase;
+point-in-time values (queue depth, jobs in flight) are rendered as
+gauges from a snapshot the scheduler passes in.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import SERVE_METRIC_NAMES
+
+#: One-line help strings, keyed by counter name (``# HELP`` output).
+_HELP = {
+    "serve_jobs_submitted": "Jobs accepted via POST /jobs",
+    "serve_jobs_completed": "Jobs that reached a terminal done state",
+    "serve_jobs_failed": "Jobs that finished with at least one failed unit",
+    "serve_jobs_cancelled": "Jobs cancelled before completion",
+    "serve_jobs_recovered": "Unfinished jobs resubmitted from serve.wal",
+    "serve_units_total": "Sweep units expanded from accepted jobs",
+    "serve_units_cached": "Units served instantly from the result store",
+    "serve_units_deduped": "Units that joined an already in-flight digest",
+    "serve_units_executed": "Units executed by the worker pool",
+    "serve_units_failed": "Units whose outcome was a failure",
+    "serve_units_skipped": "Units skipped by round-chaining or cancellation",
+    "serve_http_requests": "HTTP requests handled",
+    "serve_http_errors": "HTTP responses with a 4xx/5xx status",
+    "serve_events_streamed": "NDJSON event lines written to clients",
+    "serve_workers_respawned": "Pool workers killed and respawned",
+}
+
+
+class ServeMetrics:
+    """Monotonic counter set for one service instance."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {
+            name: 0 for name in SERVE_METRIC_NAMES}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n        # KeyError = typo, fail loudly
+
+    def to_dict(self) -> dict:
+        return dict(self.counters)
+
+    def render(self, gauges: dict | None = None) -> str:
+        """Prometheus text exposition (counters + optional gauges)."""
+        lines: list[str] = []
+        for name in SERVE_METRIC_NAMES:
+            lines.append(f"# HELP repro_{name} {_HELP[name]}")
+            lines.append(f"# TYPE repro_{name} counter")
+            lines.append(f"repro_{name} {self.counters[name]}")
+        for name, value in sorted((gauges or {}).items()):
+            lines.append(f"# TYPE repro_{name} gauge")
+            lines.append(f"repro_{name} {value}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,88 @@
+"""In-process service harness for tests and examples.
+
+:class:`ServiceThread` runs a full :class:`~repro.serve.api.Service`
+(scheduler, worker pool, HTTP endpoint) on a private event loop in a
+background thread, so synchronous test code can drive it with the
+blocking :class:`~repro.serve.client.ServeClient`.  Signal handlers
+are not installed (``loop.add_signal_handler`` only works on the main
+thread); shutdown goes through :meth:`stop`, which performs the same
+graceful drain a SIGTERM would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.harness.durable import DurablePolicy
+from repro.serve.api import Service
+from repro.serve.client import ServeClient
+
+
+class ServiceThread:
+    """``with ServiceThread(dir) as svc: svc.client().submit(...)``"""
+
+    def __init__(self, dir: str, *, workers: int = 2,
+                 policy: DurablePolicy | None = None) -> None:
+        self.dir = str(dir)
+        self.workers = workers
+        self.policy = policy
+        self.service: Service | None = None
+        self.unfinished: list[str] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        self.service = Service(self.dir, workers=self.workers,
+                               policy=self.policy)
+        try:
+            await self.service.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        self.unfinished = await self.service.serve_until_shutdown()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.service is None or self.service.port == 0:
+            raise RuntimeError("service failed to start")
+        return self
+
+    def stop(self) -> list[str]:
+        """Graceful drain (same path as SIGTERM); returns unfinished
+        job ids."""
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.service.shutdown)
+            self._thread.join(timeout=60)
+        return self.unfinished
+
+    def client(self, timeout: float = 60.0) -> ServeClient:
+        return ServeClient(self.service.host, self.service.port,
+                           timeout=timeout)
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

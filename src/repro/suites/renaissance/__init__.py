@@ -1,13 +1,13 @@
-"""The 23 Renaissance benchmarks (paper Table 1), one module each."""
+"""The 24 Renaissance benchmarks (paper Table 1), one module each."""
 
 from importlib import import_module
 
 _MODULES = (
     "akka_uct", "als", "chi_square", "db_shootout", "dec_tree", "dotty",
     "finagle_chirper", "finagle_http", "fj_kmeans", "future_genetic",
-    "log_regression", "movie_lens", "naive_bayes", "neo4j_analytics",
-    "page_rank", "par_mnemonics", "philosophers", "reactors",
-    "rx_scrabble", "scala_kmeans", "scrabble", "stm_bench7",
+    "gauss_mix", "log_regression", "movie_lens", "naive_bayes",
+    "neo4j_analytics", "page_rank", "par_mnemonics", "philosophers",
+    "reactors", "rx_scrabble", "scala_kmeans", "scrabble", "stm_bench7",
     "streams_mnemonics",
 )
 

@@ -1,0 +1,158 @@
+"""gauss-mix: Gaussian mixture model EM (Table 1, Spark ML analogue).
+
+Focus: data-parallel, machine learning.  Each EM iteration fans the
+E-step over the pool — every chunk accumulates per-component
+responsibility partials (weight, mean, variance moments) plus its
+slice of the log-likelihood — and the M-step folds the partials into
+new component parameters, Math-heavy double arithmetic throughout.
+"""
+
+from repro.harness.core import GuestBenchmark
+
+SOURCE = r"""
+class GaussMix {
+    var points;       // 1-D samples
+    var k;            // mixture components
+    var weight;       // component priors
+    var mean;
+    var variance;
+
+    def init(n, k) {
+        this.k = k;
+        this.points = new double[n];
+        this.weight = new double[k];
+        this.mean = new double[k];
+        this.variance = new double[k];
+        var r = new Random(4242);
+        var i = 0;
+        while (i < n) {
+            // Draw from k latent clusters spaced along the line.
+            var c = r.nextInt(k);
+            this.points[i] = i2d(c * 10) + r.nextDouble() * 4.0 - 2.0;
+            i = i + 1;
+        }
+        var j = 0;
+        while (j < k) {
+            this.weight[j] = 1.0 / i2d(k);
+            this.mean[j] = i2d(j * 10) + 1.0;   // deliberately offset
+            this.variance[j] = 4.0;
+            j = j + 1;
+        }
+    }
+
+    def density(x, j) {
+        var d = x - this.mean[j];
+        var v = this.variance[j];
+        return this.weight[j]
+            * Math.exp(0.0 - d * d / (2.0 * v))
+            / Math.sqrt(6.2831853 * v);
+    }
+
+    // E-step over [lo, hi): pack per-component moments and the chunk
+    // log-likelihood into one partial array [resp_j, sum_j, sq_j]*, ll.
+    def estep(lo, hi, partial) {
+        var k = this.k;
+        var i = lo;
+        while (i < hi) {
+            var x = this.points[i];
+            var total = 0.0;
+            var j = 0;
+            while (j < k) {
+                total = total + this.density(x, j);
+                j = j + 1;
+            }
+            if (total < 0.000000000001) { total = 0.000000000001; }
+            j = 0;
+            while (j < k) {
+                var resp = this.density(x, j) / total;
+                partial[j * 3] = partial[j * 3] + resp;
+                partial[j * 3 + 1] = partial[j * 3 + 1] + resp * x;
+                partial[j * 3 + 2] = partial[j * 3 + 2] + resp * x * x;
+                j = j + 1;
+            }
+            partial[k * 3] = partial[k * 3] + Math.log(total);
+            i = i + 1;
+        }
+        return hi - lo;
+    }
+
+    def iterate(pool, chunks) {
+        var self = this;
+        var n = len(this.points);
+        var k = this.k;
+        var partials = new ref[chunks];
+        var latch = new CountDownLatch(chunks);
+        var per = (n + chunks - 1) / chunks;
+        var c = 0;
+        while (c < chunks) {
+            var lo = c * per;
+            var hi = lo + per;
+            if (hi > n) { hi = n; }
+            var partial = new double[k * 3 + 1];
+            partials[c] = partial;
+            pool.execute(fun () {
+                self.estep(lo, hi, partial);
+                latch.countDown();
+            });
+            c = c + 1;
+        }
+        latch.await();
+        // M-step: fold the partials, refit each component.
+        var merged = new double[k * 3 + 1];
+        c = 0;
+        while (c < chunks) {
+            var partial = partials[c];
+            var i = 0;
+            while (i < k * 3 + 1) {
+                merged[i] = merged[i] + partial[i];
+                i = i + 1;
+            }
+            c = c + 1;
+        }
+        var j = 0;
+        while (j < k) {
+            var resp = merged[j * 3];
+            if (resp < 0.000000000001) { resp = 0.000000000001; }
+            var mu = merged[j * 3 + 1] / resp;
+            var var_ = merged[j * 3 + 2] / resp - mu * mu;
+            if (var_ < 0.01) { var_ = 0.01; }
+            this.weight[j] = resp / i2d(n);
+            this.mean[j] = mu;
+            this.variance[j] = var_;
+            j = j + 1;
+        }
+        return merged[k * 3];           // log-likelihood of this pass
+    }
+}
+
+class Bench {
+    static var cached = null;
+
+    static def run(n) {
+        if (Bench.cached == null) {
+            Bench.cached = new GaussMix(n, 3);
+        }
+        var gm = cast(GaussMix, Bench.cached);
+        var pool = new ThreadPool(4);
+        var ll = 0.0;
+        var round = 0;
+        while (round < 5) {
+            ll = gm.iterate(pool, 8);
+            round = round + 1;
+        }
+        pool.shutdown();
+        return d2i(ll * 1000.0);
+    }
+}
+"""
+
+BENCHMARK = GuestBenchmark(
+    name="gauss-mix",
+    suite="renaissance",
+    source=SOURCE,
+    description="Gaussian mixture model fit by data-parallel EM",
+    focus="data-parallel, machine learning",
+    args=(2000,),
+    warmup=5,
+    measure=4,
+)

@@ -570,3 +570,96 @@ def test_sigterm_drains_and_exits_resumable(tmp_path):
         workload(WIDE_SLICE), dir=sweep_dir, resume=True, jobs=2,
         warmup=0, measure=1, repeat=2)
     assert suite_key(plain) == suite_key(resumed)
+
+# ----------------------------------------------------------------------
+# Journal compaction (clean completion) and store maintenance.
+# ----------------------------------------------------------------------
+def test_journal_compacts_after_clean_completion(tmp_path):
+    sweep_dir = str(tmp_path / "sweep")
+    benches = [TINY_BENCHMARK, get_benchmark("philosophers")]
+    clean = run_suite(benches, warmup=0, measure=1, repeat=2,
+                      durable_dir=sweep_dir)
+    replay = Journal(os.path.join(sweep_dir, "journal.wal")).replay()
+    kinds = [r["kind"] for r in replay.records]
+    # Stage and unit-begin chatter is compacted away; what remains is
+    # the minimal replayable summary plus the compaction marker.
+    assert "stage" not in kinds and "unit-begin" not in kinds
+    assert kinds[0] == "sweep-begin"
+    assert kinds[-2:] == ["sweep-end", "journal-compact"]
+    assert kinds.count("unit-done") == 4
+    assert [r["seq"] for r in replay.records] == list(range(len(kinds)))
+    # The compacted journal still resumes byte-identically, all units
+    # served from the store.
+    resumed = run_suite(benches, warmup=0, measure=1, repeat=2,
+                        durable_dir=sweep_dir, resume=True)
+    assert suite_key(clean) == suite_key(resumed)
+    assert resumed.durable["executed"] == 0
+    assert resumed.durable["served_from_store"] == 4
+
+
+def test_journal_compaction_skipped_on_interrupt(tmp_path):
+    sweep_dir = str(tmp_path / "sweep")
+    policy = DurablePolicy(abort_after_units=1)
+    with pytest.raises(SweepInterrupted):
+        run_suite_durable([TINY_BENCHMARK, FAILING_BENCHMARK],
+                          dir=sweep_dir, warmup=0, measure=1,
+                          policy=policy)
+    kinds = [r["kind"] for r in
+             Journal(os.path.join(sweep_dir, "journal.wal")).replay()
+             .records]
+    # Interrupted sweeps keep their full journal (no sweep-end yet).
+    assert "journal-compact" not in kinds
+    assert "sweep-interrupt" in kinds
+
+
+def test_store_lock_excludes_second_writer(tmp_path):
+    from repro.errors import StoreLockedError
+    from repro.harness.store import StoreLock
+
+    held = StoreLock(tmp_path).acquire(owner="first writer")
+    try:
+        with pytest.raises(StoreLockedError, match="first writer"):
+            StoreLock(tmp_path).acquire(owner="second writer")
+        # A durable sweep on the locked directory fails fast too.
+        with pytest.raises(StoreLockedError):
+            run_suite([TINY_BENCHMARK], warmup=0, measure=1,
+                      durable_dir=str(tmp_path))
+    finally:
+        held.release()
+    # Released (or dead-process) locks are re-acquirable.
+    StoreLock(tmp_path).acquire(owner="third writer").release()
+
+
+def test_store_ls_and_gc_cli(tmp_path, capsys):
+    from repro.harness.__main__ import EXIT_FAILURES, EXIT_OK, main
+
+    sweep_dir = str(tmp_path / "sweep")
+    run_suite(workload(("philosophers",)), warmup=0, measure=1,
+              durable_dir=sweep_dir)
+    store = ResultStore(sweep_dir)
+    good = _store_object_count(sweep_dir)
+    # Plant a corrupt object, an unreferenced object, and an orphan tmp.
+    corrupt_digest = "ab" * 32
+    store.put(corrupt_digest, b"payload")
+    path = os.path.join(sweep_dir, "objects", "ab", corrupt_digest)
+    with open(path, "r+b") as fh:
+        fh.write(b"XX")
+    unref_digest = "cd" * 32
+    store.put(unref_digest, b"payload")
+    orphan = os.path.join(sweep_dir, "objects", "ef", "deadbeef.tmp")
+    os.makedirs(os.path.dirname(orphan), exist_ok=True)
+    open(orphan, "wb").write(b"partial")
+
+    assert main(["--store-ls", sweep_dir]) == EXIT_FAILURES
+    out = capsys.readouterr().out
+    assert "BAD" in out and "unreferenced" in out
+
+    assert main(["--store-gc", sweep_dir]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "pruned 1 corrupt + 1 unreferenced + 1 temp" in out
+    assert _store_object_count(sweep_dir) == good
+    # The journal-referenced unit survived and still serves a resume.
+    resumed = run_suite(workload(("philosophers",)), warmup=0,
+                        measure=1, durable_dir=sweep_dir, resume=True)
+    assert resumed.durable["served_from_store"] == 1
+    assert main(["--store-ls", sweep_dir]) == EXIT_OK

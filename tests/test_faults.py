@@ -386,14 +386,14 @@ def test_on_fault_plugin_hook_fires():
 
 
 def test_renaissance_sweep_with_one_poisoned_benchmark():
-    """Acceptance: a full 23-benchmark Renaissance sweep with one
-    poisoned workload completes the remaining 22 and quarantines
+    """Acceptance: a full 24-benchmark Renaissance sweep with one
+    poisoned workload completes the remaining 23 and quarantines
     exactly one failure, with a replayable report."""
     plan = FaultPlan.single("guest-exception", site="*", at=50, seed=99,
                             message="poison")
     sweep = run_suite("renaissance", jit=None, warmup=0, measure=1,
                       faults={"page-rank": plan})
-    assert sweep.completed == 22
+    assert sweep.completed == 23
     assert len(sweep.failures) == 1
     assert len(sweep.quarantine) == 1
     report = sweep.failures[0]

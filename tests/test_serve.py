@@ -1,0 +1,334 @@
+"""Benchmark-as-a-service: scheduler, HTTP API, cache identity.
+
+The contract under test: the service's unit digests and RunResult
+fingerprints are **byte-identical** to a serial
+``run_suite(durable_dir=...)`` with the same parameters, so the
+content-addressed store is shared between the CLI and the service —
+resubmitting a spec (or overlapping one) never re-executes a unit, and
+a SIGTERM'd service resumes its unfinished jobs from the journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.faults.resilience import run_suite
+from repro.harness.durable import DurableSweep
+from repro.serve.client import ServeClient
+from repro.serve.spec import SweepSpec
+from repro.serve.testing import ServiceThread
+from repro.suites.registry import get_benchmark
+
+SLICE = ("scrabble", "philosophers")
+
+SPEC = {"benchmarks": list(SLICE), "jit": "none",
+        "warmup": 1, "measure": 1}
+
+#: Every NDJSON event must carry these fields.
+EVENT_REQUIRED = ("schema", "job", "seq", "t", "kind")
+
+EVENT_KINDS = {
+    "job-queued", "job-recovered", "unit-cached", "unit-deduped",
+    "unit-begin", "stage", "unit-done", "unit-failed", "unit-skipped",
+    "job-done", "job-cancelled",
+}
+
+
+def workload(names=SLICE):
+    return [get_benchmark(n) for n in names]
+
+
+# ----------------------------------------------------------------------
+# Spec expansion: the digest identity everything else rests on.
+# ----------------------------------------------------------------------
+def test_spec_expands_to_durable_sweep_digests(tmp_path):
+    spec = SweepSpec(benchmarks=SLICE, jit=None, warmup=1, measure=1,
+                     repeat=2)
+    sweep = DurableSweep(workload(), dir=str(tmp_path), jit=None,
+                         warmup=1, measure=1, repeat=2)
+    assert spec.fingerprint() == sweep.fingerprint
+    assert sorted(u.digest for u in spec.expand()) == \
+        sorted(u.digest for u in sweep.units.values())
+    # Scheduling knobs are not part of the unit identity.
+    reprioritized = SweepSpec(benchmarks=SLICE, jit=None, warmup=1,
+                              measure=1, repeat=2, priority=-5,
+                              max_concurrency=1)
+    assert [u.digest for u in reprioritized.expand()] == \
+        [u.digest for u in spec.expand()]
+
+
+def test_spec_validation():
+    SweepSpec.from_dict(dict(SPEC))                 # valid baseline
+    for bad in (
+        ["not", "a", "dict"],
+        {"suite": "nope"},
+        {"benchmarks": ["no-such-benchmark"]},
+        {"engine": "tier99"},
+        {"repeat": 0},
+        {"warmup": -1},
+        {"max_concurrency": 0},
+        {"mystery_field": 1},
+    ):
+        with pytest.raises(ServeError):
+            SweepSpec.from_dict(bad)
+    # "none" normalizes to the interpreter config, like the CLI.
+    assert SweepSpec.from_dict({"jit": "none"}).jit is None
+    # Wire round-trip is lossless.
+    spec = SweepSpec.from_dict(dict(SPEC))
+    assert SweepSpec.from_dict(spec.to_dict()) == spec
+    assert spec.digest() == SweepSpec.from_dict(spec.to_dict()).digest()
+
+
+# ----------------------------------------------------------------------
+# End-to-end service acceptance.
+# ----------------------------------------------------------------------
+def test_service_end_to_end_matches_run_suite(tmp_path):
+    # Serial durable reference run in its own directory.
+    plain = run_suite(workload(), jit=None, warmup=1, measure=1,
+                      durable_dir=str(tmp_path / "cli"))
+    plain_fps = sorted(r.fingerprint() for r in plain.results)
+
+    with ServiceThread(str(tmp_path / "svc")) as svc:
+        client = svc.client()
+        job = client.submit(dict(SPEC))
+        assert job["state"] in ("queued", "running")
+        assert job["total_units"] == len(SLICE)
+
+        events = []
+        for event in client.events(job["id"]):      # live NDJSON tail
+            events.append(event)
+            if event["kind"] == "job-done":
+                break
+        for event in events:
+            for field in EVENT_REQUIRED:
+                assert field in event, event
+            assert event["schema"] == "serve-event/1"
+            assert event["job"] == job["id"]
+            assert event["kind"] in EVENT_KINDS
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "job-queued" and kinds[-1] == "job-done"
+        assert kinds.count("unit-done") == len(SLICE)
+        assert "stage" in kinds                     # lifecycle streamed
+
+        # Results fetched by digest decode to RunResults whose
+        # fingerprints are byte-identical to the serial CLI sweep's.
+        done = [e for e in events if e["kind"] == "unit-done"]
+        fetched = [client.result(e["digest"]) for e in done]
+        assert all(o["kind"] == "result" for o in fetched)
+        assert sorted(o["result"].fingerprint() for o in fetched) == \
+            plain_fps
+        assert sorted(e["fingerprint"] for e in done) == plain_fps
+
+        before = client.metrics()
+        assert before["serve_units_executed"] == len(SLICE)
+        assert before["serve_jobs_completed"] == 1
+
+        # Resubmitting the identical spec is served entirely from the
+        # store: zero new executions.
+        job2 = client.submit(dict(SPEC))
+        final2 = client.wait(job2["id"], timeout=30)
+        assert final2["state"] == "done"
+        assert final2["units"]["cached"] == len(SLICE)
+        after = client.metrics()
+        assert after["serve_units_executed"] == len(SLICE)  # unchanged
+        assert after["serve_units_cached"] == len(SLICE)
+
+        # Status endpoints agree.
+        assert client.job(job["id"])["state"] == "done"
+        assert {j["id"] for j in client.jobs()} == \
+            {job["id"], job2["id"]}
+    assert svc.unfinished == []
+
+
+def test_overlapping_jobs_share_one_execution(tmp_path):
+    with ServiceThread(str(tmp_path), workers=1) as svc:
+        client = svc.client()
+        # Two jobs overlapping on "philosophers", submitted back to
+        # back against a single worker: the overlap must execute once,
+        # the second job joining in flight or hitting the store.
+        a = client.submit({"benchmarks": ["philosophers", "scrabble"],
+                           "jit": "none", "warmup": 1, "measure": 1})
+        b = client.submit({"benchmarks": ["philosophers", "fj-kmeans"],
+                           "jit": "none", "warmup": 1, "measure": 1})
+        final_a = client.wait(a["id"], timeout=120)
+        final_b = client.wait(b["id"], timeout=120)
+        assert final_a["state"] == "done"
+        assert final_b["state"] == "done"
+        m = client.metrics()
+        # 3 distinct digests across 4 requested units.
+        assert m["serve_units_total"] == 4
+        assert m["serve_units_executed"] == 3
+        assert m["serve_units_cached"] + m["serve_units_deduped"] == 1
+        # Both jobs saw the same outcome for the shared digest.
+        done_a = {e["digest"]: e.get("fingerprint")
+                  for e in client.events(a["id"])
+                  if e["kind"] == "unit-done"}
+        done_b = {e["digest"]: e.get("fingerprint")
+                  for e in client.events(b["id"])
+                  if e["kind"] in ("unit-done", "unit-cached")}
+        shared = set(done_a) & set(done_b)
+        assert len(shared) == 1 or m["serve_units_cached"] == 1
+
+
+def test_round_chaining_orders_repetitions(tmp_path):
+    # repeat=2 chains: round 1 becomes schedulable only after round 0
+    # resolves (the DurableSweep._resolve contract, mirrored).
+    with ServiceThread(str(tmp_path), workers=1) as svc:
+        client = svc.client()
+        job = client.submit({"benchmarks": ["philosophers"],
+                             "jit": "none", "warmup": 1, "measure": 1,
+                             "repeat": 2})
+        final = client.wait(job["id"], timeout=120)
+        assert final["state"] == "done"
+        events = list(client.events(job["id"]))
+        begins = [e for e in events if e["kind"] == "unit-begin"]
+        dones = [e for e in events if e["kind"] == "unit-done"]
+        # Round 1 begins only after round 0 is done.
+        assert [e["round"] for e in begins] == [0, 1]
+        round0_done = next(i for i, e in enumerate(events)
+                           if e["kind"] == "unit-done"
+                           and e["round"] == 0)
+        round1_begin = next(i for i, e in enumerate(events)
+                            if e["kind"] == "unit-begin"
+                            and e["round"] == 1)
+        assert round0_done < round1_begin
+        assert [e["round"] for e in dones] == [0, 1]
+
+
+def test_cancellation_drops_queued_units(tmp_path):
+    with ServiceThread(str(tmp_path), workers=1) as svc:
+        client = svc.client()
+        job = client.submit({
+            "benchmarks": ["scrabble", "philosophers", "fj-kmeans",
+                           "streams-mnemonics"],
+            "jit": "none", "warmup": 1, "measure": 1})
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] == "cancelled"
+        final = client.wait(job["id"], timeout=60)
+        assert final["state"] == "cancelled"
+        counts = final["units"]
+        # At most the in-flight unit ran; the rest were dropped.
+        assert counts["skipped"] >= 2
+        m = client.metrics()
+        assert m["serve_jobs_cancelled"] == 1
+        assert m["serve_units_executed"] <= 2
+
+
+def test_http_error_handling(tmp_path):
+    with ServiceThread(str(tmp_path)) as svc:
+        client = svc.client()
+        with pytest.raises(ServeError, match="not JSON"):
+            client._json("POST", "/jobs", b"{nope")
+        with pytest.raises(ServeError, match="unknown sweep spec"):
+            client.submit({"mystery": 1})
+        with pytest.raises(ServeError, match="unknown job"):
+            client.job("job-999999")
+        with pytest.raises(ServeError, match="404"):
+            client.result("ff" * 32)
+        with pytest.raises(ServeError, match="no route"):
+            client._json("GET", "/nope")
+        # Health and metrics endpoints respond.
+        assert client._json("GET", "/healthz") == {"ok": True}
+        text = client.metrics_text()
+        assert "# TYPE repro_serve_jobs_submitted counter" in text
+        assert "repro_serve_http_errors" in text
+        m = client.metrics()
+        assert m["serve_http_errors"] >= 4
+
+
+# ----------------------------------------------------------------------
+# Tier-2 (make serve): SIGTERM drain + journal-backed recovery.
+# ----------------------------------------------------------------------
+def _start_service(sweep_dir, env):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--dir", sweep_dir,
+         "--port", "0", "--workers", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True)
+    line = proc.stdout.readline()
+    match = re.search(r"listening on http://([\d.]+):(\d+)", line)
+    assert match, f"no listen line, got {line!r}"
+    return proc, ServeClient(match.group(1), int(match.group(2)))
+
+
+@pytest.mark.serve
+def test_sigterm_drain_and_restart_recovery(tmp_path):
+    sweep_dir = str(tmp_path / "svc")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(os.path.dirname(__file__), "..", "src")
+        + os.pathsep + env.get("PYTHONPATH", ""))
+
+    proc, client = _start_service(sweep_dir, env)
+    spec = {"benchmarks": ["scrabble", "philosophers", "fj-kmeans",
+                           "streams-mnemonics"],
+            "jit": "none", "warmup": 1, "measure": 1, "repeat": 2}
+    job = client.submit(spec)
+    jid = job["id"]
+    # Let at least one unit land in the store, then SIGTERM mid-job.
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        if client.metrics()["serve_units_executed"] >= 1:
+            break
+        time.sleep(0.05)
+    proc.send_signal(signal.SIGTERM)
+    code = proc.wait(timeout=120)
+    executed_before = _count_store_objects(sweep_dir)
+
+    if code == 0:
+        # Tiny race: the job finished before the signal landed —
+        # restart still must serve everything from the store.
+        expected_remaining = 0
+    else:
+        assert code == 4                            # drained, unfinished
+        assert executed_before >= 1
+
+    # Restart on the same directory: the journaled job is recovered
+    # and completed, previously-finished units served from the store.
+    proc2, client2 = _start_service(sweep_dir, env)
+    try:
+        deadline = time.time() + 240
+        while time.time() < deadline:
+            jobs = {j["id"]: j for j in client2.jobs()}
+            if code == 0:
+                break                               # nothing to recover
+            if jid in jobs and jobs[jid]["state"] == "done":
+                break
+            time.sleep(0.2)
+        m = client2.metrics()
+        if code != 0:
+            assert m["serve_jobs_recovered"] == 1
+            jobs = {j["id"]: j for j in client2.jobs()}
+            assert jobs[jid]["state"] == "done"
+            assert jobs[jid]["units"]["failed"] == 0
+            # Units persisted before the drain were not re-executed.
+            assert m["serve_units_cached"] >= executed_before
+        # Either way the store now holds the full sweep, and an
+        # identical resubmission is pure cache.
+        job2 = client2.submit(spec)
+        final2 = client2.wait(job2["id"], timeout=60)
+        assert final2["state"] == "done"
+        assert final2["units"]["cached"] == 8
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        proc2.wait(timeout=60)
+
+
+def _count_store_objects(sweep_dir) -> int:
+    objects = os.path.join(sweep_dir, "objects")
+    if not os.path.isdir(objects):
+        return 0
+    return sum(
+        1 for fan in os.listdir(objects)
+        for name in os.listdir(os.path.join(objects, fan))
+        if not name.endswith(".tmp"))
